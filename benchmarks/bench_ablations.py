@@ -1,0 +1,104 @@
+"""Ablations A1-A4 (extensions beyond the paper's figures)."""
+
+from repro.analysis import pct_gain
+from repro.experiments import ablations
+
+
+def test_a1_checksum_inheritance(experiment):
+    def extras(result):
+        inherit = result.value("throughput_mbps", config="NCache inherit")
+        recompute = result.value("throughput_mbps",
+                                 config="NCache recompute")
+        return {"inherit_vs_recompute_pct":
+                round(pct_gain(inherit, recompute), 1)}
+
+    result = experiment(ablations.run_checksum, extras)
+    inherit = result.value("throughput_mbps", config="NCache inherit")
+    recompute = result.value("throughput_mbps", config="NCache recompute")
+    offload = result.value("throughput_mbps", config="NCache (offload on)")
+    original_sw = result.value("throughput_mbps",
+                               config="original (sw checksum)")
+    assert inherit > recompute          # §1's claimed benefit is real
+    assert inherit > original_sw
+    assert abs(inherit - offload) / offload < 0.10  # ~as good as hardware
+
+
+def test_a2_fs_cache_size(experiment):
+    result = experiment(ablations.run_fs_cache_size)
+    throughputs = result.column("throughput_mbps")
+    # The NCache store absorbs FS-cache misses: shrinking the FS cache
+    # from 128 MB to 16 MB costs little (< 25%).
+    assert min(throughputs[1:]) > 0.75 * max(throughputs)
+    # FS hit ratio must genuinely fall as the cache shrinks, proving the
+    # flatness comes from the L2, not from a lack of pressure.
+    ratios = result.column("fs_hit_ratio")
+    assert ratios[0] < ratios[-1]
+
+
+def test_a3_remap(experiment):
+    result = experiment(ablations.run_remap)
+    on = result.rows_where(config="remap on")[0]
+    off = result.rows_where(config="remap off")[0]
+    assert on["remaps"] > 0
+    assert off["remaps"] == 0
+    # Both stay correct and comparable in throughput.
+    assert abs(on["ops_per_sec"] - off["ops_per_sec"]) / \
+        on["ops_per_sec"] < 0.25
+
+
+def test_a5_memcpy_cost(experiment):
+    result = experiment(ablations.run_memcpy_cost)
+    gains = result.column("gain_pct")
+    costs = result.column("memcpy_ns_per_byte")
+    # The NCache advantage must grow monotonically with memcpy expense.
+    assert all(a < b for a, b in zip(gains, gains[1:])), (costs, gains)
+    assert gains[0] < 60       # cheap memory: modest benefit
+    assert gains[-1] > 120     # expensive memory: copies dominate
+
+
+def test_a6_daemon_count(experiment):
+    result = experiment(ablations.run_daemon_count)
+    by_count = {row["n_daemons"]: row["throughput_mbps"]
+                for row in result.rows}
+    # Starved pipeline at 2 daemons; saturation by 16.
+    assert by_count[2] < by_count[8]
+    assert by_count[16] >= 0.9 * by_count[32]
+
+
+def test_a7_loss_recovery(experiment):
+    result = experiment(ablations.run_loss)
+    for loss in (0.0, 0.5, 2.0):
+        orig = result.value("throughput_mbps", mode="original",
+                            loss_pct=loss)
+        ncache = result.value("throughput_mbps", mode="NCache",
+                              loss_pct=loss)
+        assert ncache > orig  # the advantage survives loss
+    # Loss hurts: 2% loss costs NCache visible throughput.
+    clean = result.value("throughput_mbps", mode="NCache", loss_pct=0.0)
+    lossy = result.value("throughput_mbps", mode="NCache", loss_pct=2.0)
+    assert lossy < clean
+    assert result.value("retransmissions", mode="NCache", loss_pct=2.0) > 0
+
+
+def test_a8_network_ready_disk(experiment):
+    result = experiment(ablations.run_network_ready_disk)
+    nc_conv = result.value("throughput_mbps", server="NCache",
+                           disk_format="conventional")
+    nc_ready = result.value("throughput_mbps", server="NCache",
+                            disk_format="network-ready")
+    assert nc_ready > nc_conv  # §6's idea pays where storage is the
+    # bottleneck...
+    cpu_conv = result.value("storage_cpu_pct", server="NCache",
+                            disk_format="conventional")
+    cpu_ready = result.value("storage_cpu_pct", server="NCache",
+                             disk_format="network-ready")
+    assert cpu_ready < cpu_conv  # ...by removing the storage-side copies
+
+
+def test_a4_capacity(experiment):
+    result = experiment(ablations.run_capacity)
+    by_frac = {row["capacity_frac"]: row["throughput_mbps"]
+               for row in result.rows}
+    # Monotone-ish degradation, graceful thanks to Zipf popularity.
+    assert by_frac[1.0] >= by_frac[0.5] >= by_frac[0.25]
+    assert by_frac[0.25] > 0.15 * by_frac[1.0]

@@ -1,0 +1,42 @@
+"""Figure 4: NFS all-miss throughput and CPU utilization."""
+
+from repro.analysis import ratio
+from repro.experiments import figure4
+
+
+def test_figure4_all_miss(experiment):
+    def extras(result):
+        out = {}
+        for kb in (16, 32):
+            orig = result.value("throughput_mbps", mode="original",
+                                request_kb=kb)
+            ncache = result.value("throughput_mbps", mode="NCache",
+                                  request_kb=kb)
+            out[f"ncache_vs_original_{kb}kb"] = round(ratio(ncache, orig), 3)
+        out["paper"] = "+29% to +36% for >=16KB; storage CPU saturates"
+        return out
+
+    result = experiment(figure4.run, extras)
+
+    # Shape assertions (paper §5.4).
+    for kb in (16, 32):
+        orig = result.value("throughput_mbps", mode="original",
+                            request_kb=kb)
+        ncache = result.value("throughput_mbps", mode="NCache",
+                              request_kb=kb)
+        base = result.value("throughput_mbps", mode="baseline",
+                            request_kb=kb)
+        assert 1.15 <= ncache / orig <= 1.60          # paper 1.29-1.36
+        assert abs(ncache - base) / base < 0.10       # NCache ~ baseline
+        # Bottleneck shift: original is server-bound, NCache storage-bound.
+        assert result.value("server_cpu_pct", mode="original",
+                            request_kb=kb) > \
+            result.value("storage_cpu_pct", mode="original", request_kb=kb)
+        assert result.value("storage_cpu_pct", mode="NCache",
+                            request_kb=kb) > \
+            result.value("server_cpu_pct", mode="NCache", request_kb=kb) - 20
+    # Throughput grows with request size for every mode.
+    for mode in ("original", "baseline", "NCache"):
+        series = [result.value("throughput_mbps", mode=mode, request_kb=kb)
+                  for kb in (4, 8, 16, 32)]
+        assert series == sorted(series)

@@ -1,0 +1,46 @@
+"""Figure 5: NFS all-hit — 1-NIC CPU and 2-NIC throughput."""
+
+from repro.analysis import pct_gain
+from repro.experiments import figure5
+
+
+def test_figure5_all_hit(experiment):
+    def extras(result):
+        orig = result.value("throughput_mbps", mode="original", nics=2,
+                            request_kb=32)
+        ncache = result.value("throughput_mbps", mode="NCache", nics=2,
+                              request_kb=32)
+        base = result.value("throughput_mbps", mode="baseline", nics=2,
+                            request_kb=32)
+        return {
+            "ncache_gain_32kb_pct": round(pct_gain(ncache, orig), 1),
+            "baseline_gain_32kb_pct": round(pct_gain(base, orig), 1),
+            "paper": "NCache +92%, baseline up to +143% at 32KB/2NICs",
+        }
+
+    result = experiment(figure5.run, extras)
+
+    orig = result.value("throughput_mbps", mode="original", nics=2,
+                        request_kb=32)
+    ncache = result.value("throughput_mbps", mode="NCache", nics=2,
+                          request_kb=32)
+    base = result.value("throughput_mbps", mode="baseline", nics=2,
+                        request_kb=32)
+    assert 60 <= pct_gain(ncache, orig) <= 120   # paper: 92
+    assert 110 <= pct_gain(base, orig) <= 170    # paper: 143
+    # (a) with one NIC, NCache/baseline CPU falls below original's.
+    for kb in (16, 32):
+        orig_cpu = result.value("server_cpu_pct", mode="original", nics=1,
+                                request_kb=kb)
+        nc_cpu = result.value("server_cpu_pct", mode="NCache", nics=1,
+                              request_kb=kb)
+        assert orig_cpu > 95
+        assert nc_cpu < orig_cpu
+    # Original saturates: throughput flat from 16KB on (within 20%).
+    o16 = result.value("throughput_mbps", mode="original", nics=2,
+                       request_kb=16)
+    assert (orig - o16) / o16 < 0.25
+    # NCache keeps growing through 32KB.
+    n16 = result.value("throughput_mbps", mode="NCache", nics=2,
+                       request_kb=16)
+    assert ncache > n16 * 1.2

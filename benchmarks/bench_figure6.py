@@ -1,0 +1,67 @@
+"""Figure 6: kHTTPd — SPECweb99-like sweep (a) and all-hit sizes (b)."""
+
+from repro.analysis import pct_gain
+from repro.experiments import figure6
+
+
+def test_figure6a_working_set_sweep(experiment):
+    def extras(result):
+        out = {}
+        for ws in (250, 500, 750):
+            orig = result.value("throughput_mbps", mode="original",
+                                working_set_mb=ws)
+            ncache = result.value("throughput_mbps", mode="NCache",
+                                  working_set_mb=ws)
+            out[f"ncache_gain_{ws}mb_pct"] = round(pct_gain(ncache, orig), 1)
+        out["paper"] = ("+10-20% over original; NCache drops hardest "
+                        "500->750MB (cache-metadata overhead)")
+        return out
+
+    result = experiment(figure6.run_working_set, extras)
+
+    gains = {}
+    for ws in (250, 500, 650, 750, 900):
+        orig = result.value("throughput_mbps", mode="original",
+                            working_set_mb=ws)
+        ncache = result.value("throughput_mbps", mode="NCache",
+                              working_set_mb=ws)
+        base = result.value("throughput_mbps", mode="baseline",
+                            working_set_mb=ws)
+        gains[ws] = pct_gain(ncache, orig)
+        assert base > orig  # baseline always wins
+    # Cache-fitting working sets: NCache comfortably ahead.
+    assert gains[250] > 5 and gains[500] > 5
+    # The crossover: NCache's advantage collapses once its (smaller)
+    # effective capacity is exceeded.
+    assert min(gains[750], gains[900]) < gains[250]
+    assert min(gains[750], gains[900]) < gains[500]
+
+
+def test_figure6b_request_size_sweep(experiment):
+    def extras(result):
+        out = {}
+        for kb in (16, 128):
+            orig = result.value("throughput_mbps", mode="original",
+                                request_kb=kb)
+            ncache = result.value("throughput_mbps", mode="NCache",
+                                  request_kb=kb)
+            out[f"ncache_gain_{kb}kb_pct"] = round(pct_gain(ncache, orig), 1)
+        out["paper"] = "+8% at 16KB growing to +47% at 128KB"
+        return out
+
+    result = experiment(figure6.run_allhit, extras)
+
+    gains = []
+    for kb in (16, 32, 64, 128):
+        orig = result.value("throughput_mbps", mode="original",
+                            request_kb=kb)
+        ncache = result.value("throughput_mbps", mode="NCache",
+                              request_kb=kb)
+        base = result.value("throughput_mbps", mode="baseline",
+                            request_kb=kb)
+        assert orig < ncache < base
+        gains.append(pct_gain(ncache, orig))
+    # Improvement grows monotonically with request size (paper: 8->47%).
+    assert all(a < b for a, b in zip(gains, gains[1:]))
+    assert 2 <= gains[0] <= 15
+    assert gains[-1] >= 20

@@ -1,0 +1,11 @@
+"""Table 1: kernel-modification / transparency audit."""
+
+from repro.experiments import table1
+
+
+def test_table1_transparency_audit(experiment):
+    result = experiment(table1.run)
+    clean = [row for row in result.rows
+             if row["modules_importing_ncache"] == "none (verified)"]
+    # Daemon, buffer cache, initiator, network stack: all NCache-free.
+    assert len(clean) == 4

@@ -1,0 +1,15 @@
+"""Table 2: data copying operations per request."""
+
+from repro.experiments import table2
+
+
+def test_table2_copy_counts(experiment):
+    result = experiment(table2.run)
+    nfs = result.rows_where(server="NFS server", mode="original")[0]
+    assert (nfs["read_hit"], nfs["read_miss"],
+            nfs["write_overwritten"], nfs["write_flushed"]) == (2, 3, 1, 2)
+    web = result.rows_where(server="kHTTPd", mode="original")[0]
+    assert (web["read_hit"], web["read_miss"]) == (1, 2)
+    for mode in ("NCache", "baseline"):
+        row = result.rows_where(server="NFS server", mode=mode)[0]
+        assert row["read_hit"] == row["read_miss"] == 0

@@ -1,0 +1,52 @@
+"""Benchmark harness helpers.
+
+Each benchmark regenerates one of the paper's tables/figures.  The full
+sweep runs once per benchmark (``pedantic`` with one round — these are
+system simulations, not microkernels), its rendered table is written to
+``benchmarks/results/<name>.txt``, and headline paper-vs-measured numbers
+are attached to the benchmark record as ``extra_info``.
+
+Set ``NCACHE_BENCH_FULL=1`` to run the paper-scale (slow) configurations
+instead of the quick ones.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_mode() -> bool:
+    return os.environ.get("NCACHE_BENCH_FULL", "0") == "1"
+
+
+def save_result(result) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{result.name}.txt"
+    path.write_text(result.render() + "\n")
+    return path
+
+
+def run_experiment(benchmark, run_fn, extra_from_result=None):
+    """Run one experiment under pytest-benchmark and persist its table."""
+    quick = not full_mode()
+    result = benchmark.pedantic(run_fn, args=(quick,), rounds=1,
+                                iterations=1)
+    save_result(result)
+    benchmark.extra_info["experiment"] = result.name
+    benchmark.extra_info["notes"] = result.notes
+    if extra_from_result is not None:
+        benchmark.extra_info.update(extra_from_result(result))
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    def runner(run_fn, extra_from_result=None):
+        return run_experiment(benchmark, run_fn, extra_from_result)
+
+    return runner

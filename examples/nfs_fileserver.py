@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""NFS file-server scenario: the paper's §1 motivating deployment.
+
+An NFS server backed by an iSCSI storage server relays file data between
+storage and clients.  This example runs the two micro-benchmarks the paper
+evaluates it with — the all-miss sequential scan and the all-hit hot set —
+across all three server configurations, and prints where the bottleneck
+sits in each case (the crux of Figures 4 and 5).
+
+Run:  python examples/nfs_fileserver.py
+"""
+
+from repro.servers import NfsTestbed, ServerMode, TestbedConfig
+from repro.servers.testbed import run_until_complete
+from repro.workloads import AllHitReadWorkload, SequentialReadWorkload
+
+REQUEST_SIZE = 32 * 1024
+
+
+def bottleneck(server_cpu: float, storage_cpu: float,
+               link_util: float) -> str:
+    candidates = [("server CPU", server_cpu), ("storage CPU", storage_cpu),
+                  ("network link", link_util)]
+    name, value = max(candidates, key=lambda kv: kv[1])
+    return f"{name} ({value * 100:.0f}%)"
+
+
+def run_all_miss(mode: ServerMode) -> None:
+    config = TestbedConfig(mode=mode, n_daemons=24)
+    testbed = NfsTestbed(config, flush_interval_s=None)
+    workload = SequentialReadWorkload(testbed, REQUEST_SIZE,
+                                      file_size=256 << 20,
+                                      streams_per_client=12)
+    testbed.setup()
+    workload.start()
+    testbed.warmup_then_measure(0.3, 0.5)
+    link = testbed.meters.utilization("server_nic0_tx")
+    print(f"  {mode.label:10s} {testbed.meters.throughput.mb_per_second():7.1f} MB/s"
+          f"   bottleneck: "
+          f"{bottleneck(testbed.server_cpu_utilization(), testbed.storage_cpu_utilization(), link)}")
+
+
+def run_all_hit(mode: ServerMode, n_nics: int) -> None:
+    config = TestbedConfig(mode=mode, n_server_nics=n_nics, n_daemons=8)
+    testbed = NfsTestbed(config, flush_interval_s=None)
+    workload = AllHitReadWorkload(testbed, REQUEST_SIZE,
+                                  streams_per_client=6)
+    testbed.setup()
+    run_until_complete(testbed.sim, workload.prewarm())
+    workload.start()
+    testbed.warmup_then_measure(0.1, 0.3)
+    link = testbed.meters.utilization("server_nic0_tx")
+    print(f"  {mode.label:10s} {testbed.meters.throughput.mb_per_second():7.1f} MB/s"
+          f"   bottleneck: "
+          f"{bottleneck(testbed.server_cpu_utilization(), testbed.storage_cpu_utilization(), link)}")
+
+
+def main() -> None:
+    print(f"All-miss sequential scan, {REQUEST_SIZE // 1024} KB requests "
+          f"(Figure 4 conditions):")
+    for mode in (ServerMode.ORIGINAL, ServerMode.BASELINE,
+                 ServerMode.NCACHE):
+        run_all_miss(mode)
+    print("\n  -> original is server-CPU bound; NCache shifts the "
+          "bottleneck to the storage server.\n")
+
+    print("All-hit hot set, one NIC (Figure 5a conditions):")
+    for mode in (ServerMode.ORIGINAL, ServerMode.BASELINE,
+                 ServerMode.NCACHE):
+        run_all_hit(mode, n_nics=1)
+    print("\nAll-hit hot set, two NICs (Figure 5b conditions):")
+    for mode in (ServerMode.ORIGINAL, ServerMode.BASELINE,
+                 ServerMode.NCACHE):
+        run_all_hit(mode, n_nics=2)
+    print("\n  -> with the link bottleneck removed, eliminating copies "
+          "turns directly into throughput (paper: +92% for NCache).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Replaying NFS traces — the Active Trace Player workflow ([20], §5.3).
+
+The paper drives its micro-benchmarks with synthetic traces through an
+NFS trace player.  This example builds three traces (sequential scan,
+hot/cold skew, mixed read/write/metadata), replays each against an
+original-mode and an NCache-mode server, and reports completion time and
+server CPU consumed — the trace player's native figure of merit.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro.servers import NfsTestbed, ServerMode, TestbedConfig
+from repro.servers.testbed import run_until_complete
+from repro.workloads import (
+    TracePlayer,
+    hot_cold_trace,
+    mixed_trace,
+    sequential_read_trace,
+)
+
+KB = 1024
+MB = 1 << 20
+
+
+def build_traces() -> dict:
+    hot = [f"hot/{i}" for i in range(4)]
+    cold = [f"cold/{i}" for i in range(64)]
+    return {
+        "sequential scan (8 MB, 32 KB reads)":
+            sequential_read_trace("bigfile", 8 * MB, 32 * KB),
+        "hot/cold 90/10 (600 reads)":
+            hot_cold_trace(600, hot, cold, hot_fraction=0.9,
+                           request_size=16 * KB, file_size=1 * MB),
+        "mixed 70r/30w + metadata (400 ops)":
+            mixed_trace(400, [f"mix/{i}" for i in range(16)],
+                        read_fraction=0.7, request_size=8 * KB,
+                        file_size=512 * KB, metadata_fraction=0.25),
+    }
+
+
+def replay(mode: ServerMode, trace) -> tuple:
+    config = TestbedConfig(mode=mode, n_daemons=8)
+    testbed = NfsTestbed(config, flush_interval_s=0.1)
+    player = TracePlayer(testbed, trace, concurrency=8)
+    testbed.setup()
+    started = testbed.sim.now
+    cpu0 = testbed.server_host.cpu.busy_time()
+    run_until_complete(testbed.sim, player.start())
+    elapsed = testbed.sim.now - started
+    cpu = testbed.server_host.cpu.busy_time() - cpu0
+    return elapsed, cpu, player.completed
+
+
+def main() -> None:
+    for name, trace in build_traces().items():
+        print(f"{name}:")
+        for mode in (ServerMode.ORIGINAL, ServerMode.NCACHE):
+            elapsed, cpu, completed = replay(mode, list(trace))
+            print(f"  {mode.label:10s} {completed:5d} ops in "
+                  f"{elapsed * 1e3:8.1f} ms simulated, server CPU "
+                  f"{cpu * 1e3:7.1f} ms")
+        print()
+    print("NCache's win shows up as lower server-CPU milliseconds per "
+          "trace;\nelapsed time converges where the disk or link, not the "
+          "CPU, is the bottleneck.")
+
+
+if __name__ == "__main__":
+    main()

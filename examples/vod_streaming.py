@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Video-on-Demand streaming — the paper's §3.5 generalization.
+
+"The idea of NCache is applicable to all pass-through servers whose major
+task is to channel data between external parties ... Other examples of
+pass-through server include Video-On-Demand server."  This example builds
+a VoD-flavoured deployment on the kHTTPd substrate: a small catalog of
+large video objects, many concurrent viewers each pulling a stream, a hot
+catalog that fits in memory.  The figure of merit is how many concurrent
+streams the server CPU sustains at a given per-stream bit rate.
+
+Run:  python examples/vod_streaming.py
+"""
+
+from repro.servers import MB, ServerMode, TestbedConfig, WebTestbed
+from repro.servers.testbed import run_until_complete
+from repro.sim.process import start
+from repro.sim.rng import substream
+
+#: Each "video" is served as a sequence of 256 KB segments (HLS-style).
+SEGMENT_BYTES = 256 * 1024
+VIDEOS = 6
+SEGMENTS_PER_VIDEO = 24  # 6 MB per title: a hot trailer catalog
+STREAM_BIT_RATE = 8e6    # 8 Mbit/s per viewer
+
+
+def build(mode: ServerMode, viewers: int) -> tuple:
+    config = TestbedConfig(mode=mode, n_server_nics=2)
+    testbed = WebTestbed(config,
+                         connections_per_client=(viewers + 1) // 2)
+    paths = []
+    for v in range(VIDEOS):
+        for s in range(SEGMENTS_PER_VIDEO):
+            path = f"vod/{v:02d}/{s:03d}.ts"
+            testbed.image.create_file(path, SEGMENT_BYTES)
+            paths.append(path)
+    testbed.setup()
+    return testbed, paths
+
+
+def viewer(testbed, client, paths, rng, pacing_s, initial_delay_s=0.0):
+    """One viewer: walk a title's segments at the stream bit rate."""
+    if initial_delay_s > 0:
+        yield testbed.sim.timeout(initial_delay_s)
+    video = rng.randrange(VIDEOS)
+    segment = 0
+    while True:
+        path = paths[video * SEGMENTS_PER_VIDEO
+                     + segment % SEGMENTS_PER_VIDEO]
+        issued = testbed.sim.now
+        response, _ = yield from client.get(path)
+        testbed.meters.throughput.record(response.content_length)
+        testbed.meters.latency.record(testbed.sim.now - issued)
+        segment += 1
+        # Paced streaming: fetch the next segment when playback needs it.
+        remaining = pacing_s - (testbed.sim.now - issued)
+        if remaining > 0:
+            yield testbed.sim.timeout(remaining)
+
+
+def run_point(mode: ServerMode, viewers: int) -> tuple:
+    testbed, paths = build(mode, viewers)
+    pacing_s = SEGMENT_BYTES * 8 / STREAM_BIT_RATE
+    rng = substream(17, "vod", viewers)
+    # Prewarm the catalog once.
+    warm_client = testbed.http_clients[0]
+
+    def prewarm():
+        for path in paths:
+            yield from warm_client.get(path)
+
+    run_until_complete(testbed.sim, start(testbed.sim, prewarm()))
+    for i in range(viewers):
+        client = testbed.http_clients[i % len(testbed.http_clients)]
+        # Stagger stream starts across one pacing interval so segment
+        # fetches do not arrive as a synchronized herd.
+        start(testbed.sim, viewer(testbed, client, paths,
+                                  substream(17, "viewer", i), pacing_s,
+                                  initial_delay_s=pacing_s * i / viewers))
+    testbed.warmup_then_measure(0.3, 0.7)
+    # A stream "stalls" when fetching a segment eats a sizable fraction
+    # of its playback duration on average.
+    stalled = testbed.meters.latency.mean > 0.25 * pacing_s
+    return (testbed.meters.throughput.mb_per_second(),
+            testbed.server_cpu_utilization(), stalled)
+
+
+def main() -> None:
+    print(f"VoD catalog: {VIDEOS} titles x {SEGMENTS_PER_VIDEO} segments "
+          f"of {SEGMENT_BYTES // 1024} KB; {STREAM_BIT_RATE / 1e6:.0f} "
+          f"Mbit/s per stream")
+    print("-" * 68)
+    demand_per_viewer = STREAM_BIT_RATE / 8 / (1 << 20)
+    print(f"{'viewers':>8s} {'demand':>9s} | {'original':>26s} | "
+          f"{'NCache':>26s}")
+    for viewers in (40, 80, 120, 160):
+        demand = viewers * demand_per_viewer
+        cells = []
+        for mode in (ServerMode.ORIGINAL, ServerMode.NCACHE):
+            mbps, cpu, stalled = run_point(mode, viewers)
+            short = demand - mbps > 0.05 * demand
+            flag = " SHORT" if (stalled or short) else ""
+            cells.append(
+                f"{mbps:6.1f} MB/s cpu {cpu * 100:3.0f}%{flag:6s}")
+        print(f"{viewers:>8d} {demand:7.1f}M | {cells[0]:>26s} | "
+              f"{cells[1]:>26s}")
+    print()
+    print("SHORT = delivered >5% below the streams' aggregate demand.")
+    print("The pass-through pattern generalizes: NCache sustains more "
+          "concurrent\nstreams before the server CPU saturates and "
+          "playback falls behind.")
+
+
+if __name__ == "__main__":
+    main()

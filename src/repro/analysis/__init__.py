@@ -1,0 +1,14 @@
+"""Result containers, ratios, table rendering, paper-claims registry."""
+
+from .paper import PaperClaim, claims, evaluate_all, render_report
+from .tables import ExperimentResult, pct_gain, ratio
+
+__all__ = [
+    "ExperimentResult",
+    "PaperClaim",
+    "claims",
+    "evaluate_all",
+    "pct_gain",
+    "ratio",
+    "render_report",
+]

@@ -1,0 +1,20 @@
+"""CPU cost model and physical/logical copy accounting."""
+
+from .accounting import (
+    CopyAccountant,
+    CopyDiscipline,
+    CopyKind,
+    CopyRecord,
+    RequestTrace,
+)
+from .costs import DEFAULT_COSTS, CostModel
+
+__all__ = [
+    "CopyAccountant",
+    "CopyDiscipline",
+    "CopyKind",
+    "CopyRecord",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "RequestTrace",
+]

@@ -1,0 +1,34 @@
+"""NCache — the paper's contribution: network-centric buffer caching."""
+
+from .chunk import Chunk, ChunkKey
+from .classifier import PacketClassifier, RxAction, TxAction, TxDecision
+from .keys import FhoKey, KeyedPayload, LbnKey
+from .ncache import NCacheModule, flatten_payload
+from .resize import (
+    buffers_for_range,
+    merge_payload,
+    slice_buffer,
+    split_into_chunks,
+)
+from .store import NCacheStore
+from .wiring import attach_ncache
+
+__all__ = [
+    "Chunk",
+    "ChunkKey",
+    "FhoKey",
+    "KeyedPayload",
+    "LbnKey",
+    "NCacheModule",
+    "NCacheStore",
+    "PacketClassifier",
+    "RxAction",
+    "TxAction",
+    "TxDecision",
+    "attach_ncache",
+    "buffers_for_range",
+    "flatten_payload",
+    "merge_payload",
+    "slice_buffer",
+    "split_into_chunks",
+]

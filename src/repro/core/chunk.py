@@ -1,0 +1,75 @@
+"""Cache chunks: fixed-size data units made of lists of network buffers.
+
+"Physically the network-centric cache consists of fixed-sized data chunks,
+each of which consists of a list of network buffers" (§3.4).  A chunk's
+buffers are the packets exactly as they arrived (iSCSI Data-In segments or
+NFS write request fragments), headers and cached checksums included — that
+is what makes zero-work retransmission and checksum inheritance possible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..net.buffer import NetBuffer, Payload, concat
+from .keys import FhoKey, LbnKey
+
+ChunkKey = Union[LbnKey, FhoKey]
+
+
+class Chunk:
+    """One fixed-size cached block as a list of network buffers."""
+
+    __slots__ = ("key", "buffers", "dirty", "pins", "lbn_hint", "_payload")
+
+    def __init__(self, key: ChunkKey, buffers: List[NetBuffer],
+                 dirty: bool = False,
+                 lbn_hint: Optional[LbnKey] = None) -> None:
+        if not buffers:
+            raise ValueError("chunk needs at least one buffer")
+        self.key = key
+        self.buffers = buffers
+        self.dirty = dirty
+        self.pins = 0
+        #: For dirty FHO chunks: where this block will land on disk, used
+        #: when NCache itself must write the chunk back (§3.4).
+        self.lbn_hint = lbn_hint
+        self._payload: Optional[Payload] = None
+
+    @property
+    def length(self) -> int:
+        return sum(b.payload_bytes for b in self.buffers)
+
+    def payload(self) -> Payload:
+        """The chunk's data as one payload (cached)."""
+        if self._payload is None:
+            self._payload = concat(b.payload for b in self.buffers)
+        return self._payload
+
+    def footprint(self, per_buffer_overhead: int,
+                  per_chunk_overhead: int) -> int:
+        """Memory this chunk occupies: payload + descriptor metadata.
+
+        The descriptor overhead is what shrinks NCache's effective data
+        capacity and produces the extra throughput drop in Figure 6(a).
+        """
+        return (self.length
+                + len(self.buffers) * per_buffer_overhead
+                + per_chunk_overhead)
+
+    @property
+    def pinned(self) -> bool:
+        return self.pins > 0
+
+    def pin(self) -> None:
+        self.pins += 1
+
+    def unpin(self) -> None:
+        if self.pins <= 0:
+            raise RuntimeError("unpin of unpinned chunk")
+        self.pins -= 1
+
+    def __repr__(self) -> str:
+        state = "dirty" if self.dirty else "clean"
+        return (f"Chunk({self.key}, {len(self.buffers)} bufs, "
+                f"{self.length}B, {state})")

@@ -1,0 +1,365 @@
+"""The NCache module: on-the-fly packet caching and substitution.
+
+This is the paper's loadable kernel module, inserted "into the layer
+between the network stack and the Ethernet device driver" (§4.1) — here,
+registered as one RX hook and one TX hook on the pass-through server's
+host.  Everything above it (daemon, buffer cache, VFS) is unmodified; the
+two seams the kernel exposes (Table 1) are the logical-copy socket
+discipline and the VFS's LBN annotator, both wired up by
+:func:`attach_ncache`.
+
+RX: iSCSI Data-In payloads are chunked into the LBN cache; NFS WRITE
+payloads into the FHO cache; the placeholder the upper layers will pass
+around is left in ``dgram.meta["keyed_payload"]``.
+
+TX: outgoing NFS READ replies and HTTP responses have their placeholder
+fragments *substituted* with the cached network buffers; outgoing iSCSI
+writes (buffer-cache flushes) are first *remapped* FHO→LBN, then
+substituted (§3.4, Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from ..copymodel.accounting import RequestTrace
+from ..net.buffer import (
+    BufferChain,
+    CompositePayload,
+    JunkPayload,
+    NetBuffer,
+    Payload,
+    PlaceholderPayload,
+    concat,
+)
+from ..net.host import Host
+from ..net.network import Datagram
+from ..sim.engine import Event, SimulationError
+from .chunk import Chunk
+from .classifier import PacketClassifier, RxAction, TxAction
+from .keys import FhoKey, KeyedPayload, LbnKey
+from .resize import buffers_for_range, split_into_chunks
+from .store import NCacheStore
+
+#: ``fn(lbn, payload) -> generator`` writing a block back to storage.
+WritebackFn = Callable[[int, Payload], Generator]
+#: ``fn(fho_key) -> Optional[LbnKey]`` — where a file block lives on disk.
+FhoToLbnFn = Callable[[FhoKey], Optional[LbnKey]]
+
+
+def flatten_payload(payload: Payload) -> List[Payload]:
+    """Leaf payloads of a (possibly composite) payload, in order."""
+    if isinstance(payload, CompositePayload):
+        leaves: List[Payload] = []
+        for part in payload.parts:
+            leaves.extend(flatten_payload(part))
+        return leaves
+    return [payload] if payload.length else []
+
+
+def coalesce_keyed(leaves: List[Payload]) -> List[Payload]:
+    """Merge adjacent keyed leaves that are contiguous views of one chunk.
+
+    Transport fragmentation slices the per-block placeholders at packet
+    boundaries; substitution must not preserve those junk boundaries — the
+    real module replaces the whole packet list with the stored buffers.
+    Coalescing recovers the per-block placeholders before resolution.
+    """
+    out: List[Payload] = []
+    for leaf in leaves:
+        prev = out[-1] if out else None
+        if (isinstance(leaf, KeyedPayload) and isinstance(prev, KeyedPayload)
+                and prev.fho_key == leaf.fho_key
+                and prev.lbn_key == leaf.lbn_key
+                and prev.base_offset + prev.length == leaf.base_offset):
+            out[-1] = KeyedPayload(prev.length + leaf.length, prev.lbn_key,
+                                   prev.fho_key, prev.base_offset)
+        else:
+            out.append(leaf)
+    return out
+
+
+class NCacheModule:
+    """One host's network-centric cache."""
+
+    def __init__(self, host: Host, store: NCacheStore, lun: int = 0,
+                 fho_to_lbn: Optional[FhoToLbnFn] = None,
+                 writeback: Optional[WritebackFn] = None,
+                 strict: bool = False,
+                 inherit_checksums: bool = True,
+                 enable_remap: bool = True) -> None:
+        self.host = host
+        self.store = store
+        self.lun = lun
+        self.fho_to_lbn = fho_to_lbn
+        self.writeback = writeback
+        #: strict=True turns substitution misses into errors (tests);
+        #: strict=False serves junk and counts, like a real race would.
+        self.strict = strict
+        #: ablation A1: inherit cached checksums on substituted packets
+        #: (§1) instead of recomputing when offload is unavailable.
+        self.inherit_checksums = inherit_checksums
+        #: ablation A3: perform FHO→LBN remapping on flush (§3.4).
+        self.enable_remap = enable_remap
+        self.counters = host.counters
+        host.add_rx_hook(self.rx_hook)
+        host.add_tx_hook(self.tx_hook)
+        self._classifier = PacketClassifier()
+
+    # ------------------------------------------------------------------
+    # RX: cache arriving regular data
+    # ------------------------------------------------------------------
+
+    def rx_hook(self, dgram: Datagram) -> Generator[Event, Any, Datagram]:
+        action = self._classifier.classify_rx(dgram)
+        if action is RxAction.PASS:
+            return dgram
+        if action is RxAction.CACHE_DATA_IN:
+            yield from self._cache_data_in(dgram)
+        else:
+            yield from self._cache_nfs_write(dgram)
+        return dgram
+
+    def _cache_data_in(self, dgram: Datagram
+                       ) -> Generator[Event, Any, None]:
+        message = dgram.message
+        bs = self.store.chunk_size
+        total = message.nblocks * bs
+        buffer_lists = split_into_chunks(dgram.chain, message.header_size,
+                                         total, bs)
+        if len(buffer_lists) != message.nblocks:
+            raise SimulationError(
+                f"Data-In chunking produced {len(buffer_lists)} chunks "
+                f"for {message.nblocks} blocks")
+        keyed_parts: List[Payload] = []
+        for i, buffers in enumerate(buffer_lists):
+            key = LbnKey(self.lun, message.lba + i)
+            yield from self._insert_chunk(Chunk(key, buffers, dirty=False))
+            keyed_parts.append(KeyedPayload(bs, lbn_key=key))
+        dgram.meta["keyed_payload"] = concat(keyed_parts)
+        self.counters.add("ncache.cached_data_in", len(buffer_lists))
+
+    def _cache_nfs_write(self, dgram: Datagram
+                         ) -> Generator[Event, Any, None]:
+        call = dgram.message
+        bs = self.store.chunk_size
+        if call.offset % bs or call.count % bs or call.fh is None:
+            # Unaligned writes pass through uncached: the server will move
+            # the real payload, still correctly, just without the benefit.
+            self.counters.add("ncache.unaligned_write_passthrough")
+            return
+        buffer_lists = split_into_chunks(dgram.chain, call.header_size,
+                                         call.count, bs)
+        keyed_parts: List[Payload] = []
+        for i, buffers in enumerate(buffer_lists):
+            key = FhoKey(call.fh.ino, call.fh.generation,
+                         call.offset + i * bs)
+            lbn_hint = self.fho_to_lbn(key) if self.fho_to_lbn else None
+            yield from self._insert_chunk(
+                Chunk(key, buffers, dirty=True, lbn_hint=lbn_hint))
+            keyed_parts.append(KeyedPayload(bs, fho_key=key))
+        dgram.meta["keyed_payload"] = concat(keyed_parts)
+        self.counters.add("ncache.cached_write", len(buffer_lists))
+
+    def _insert_chunk(self, chunk: Chunk) -> Generator[Event, Any, None]:
+        costs = self.host.costs
+        yield from self.host.acct.compute(
+            costs.ncache_lookup_ns + costs.ncache_mgmt_ns, "ncache.insert")
+        footprint = chunk.footprint(self.store.per_buffer_overhead,
+                                    self.store.per_chunk_overhead)
+        victims = self.store.make_room(footprint)
+        for victim in victims:
+            yield from self._write_back_chunk(victim)
+        self.store.insert(chunk)
+
+    def _write_back_chunk(self, chunk: Chunk
+                          ) -> Generator[Event, Any, None]:
+        """Flush a dirty chunk that is being reclaimed (§3.4).
+
+        The target LBN comes from the chunk's remapped key or its hint.
+        """
+        self.counters.add("ncache.writeback")
+        if isinstance(chunk.key, LbnKey):
+            lbn_key: Optional[LbnKey] = chunk.key
+        else:
+            lbn_key = chunk.lbn_hint
+        if lbn_key is None or self.writeback is None:
+            raise SimulationError(
+                f"cannot write back dirty chunk {chunk!r}: "
+                f"{'no writeback path' if self.writeback is None else 'no LBN'}")
+        yield from self.writeback(lbn_key.lbn, chunk.payload().physical_copy())
+
+    # ------------------------------------------------------------------
+    # TX: remap and substitute departing packets
+    # ------------------------------------------------------------------
+
+    def tx_hook(self, dgram: Datagram, trace: Optional[RequestTrace]
+                ) -> Generator[Event, Any, Datagram]:
+        decision = self._classifier.classify_tx(dgram)
+        if decision.action is TxAction.PASS:
+            return dgram
+        leaves = flatten_payload(dgram.chain.payload())
+        if not any(isinstance(p, PlaceholderPayload) for p in leaves):
+            return dgram
+        if decision.action is TxAction.REMAP_AND_SUBSTITUTE \
+                and self.enable_remap:
+            yield from self._remap(dgram, leaves)
+        yield from self._substitute(dgram, leaves, trace)
+        return dgram
+
+    def _remap(self, dgram: Datagram, leaves: List[Payload]
+               ) -> Generator[Event, Any, None]:
+        """FHO→LBN remapping as the flush passes by (§3.4, Figure 3)."""
+        command = dgram.message
+        seen: set = set()
+        block_index = 0
+        for leaf in leaves:
+            if not isinstance(leaf, KeyedPayload):
+                continue
+            fho = leaf.fho_key
+            if fho is None or fho in seen:
+                continue
+            seen.add(fho)
+            lbn_key = leaf.lbn_key
+            if lbn_key is None:
+                lbn_key = LbnKey(command.lun, command.lba + block_index)
+            yield from self.host.acct.compute(
+                self.host.costs.ncache_remap_ns, "ncache.remap")
+            self.store.remap(fho, lbn_key)
+            block_index += 1
+
+    def _substitute(self, dgram: Datagram, leaves: List[Payload],
+                    trace: Optional[RequestTrace]
+                    ) -> Generator[Event, Any, None]:
+        """Swap placeholder fragments for the cached network buffers.
+
+        The outgoing packet list becomes: one leading buffer carrying the
+        protocol header bytes (merged with the first cached fragment),
+        followed by the cached buffers themselves — "moved directly from
+        the network-centric buffer cache to the network interface card"
+        (§1).  Framing (packet count, wire bytes) is recomputed.
+        """
+        costs = self.host.costs
+        leaves = coalesce_keyed(leaves)
+        new_buffers: List[NetBuffer] = []
+        pending_plain: List[Payload] = []  # header/metadata bytes to merge
+        flavor = self.host.buffer_flavor
+        substituted = 0
+        lookups = 0
+        # Transport fragmentation may slice one block's placeholder across
+        # several packets; the module resolves each *chunk* once per reply
+        # (a per-reply lookup table), not once per fragment.
+        resolved: dict = {}
+
+        def emit_plain() -> None:
+            if pending_plain:
+                new_buffers.append(NetBuffer(payload=concat(pending_plain),
+                                             flavor=flavor))
+                pending_plain.clear()
+
+        for leaf in leaves:
+            if not isinstance(leaf, KeyedPayload):
+                pending_plain.append(leaf)
+                continue
+            cache_key = (leaf.fho_key, leaf.lbn_key)
+            if cache_key in resolved:
+                chunk = resolved[cache_key]
+            else:
+                lookups += 1
+                chunk = self.store.resolve(leaf.fho_key, leaf.lbn_key)
+                resolved[cache_key] = chunk
+            if chunk is None:
+                self.counters.add("ncache.substitute_miss")
+                if self.strict:
+                    raise SimulationError(
+                        f"substitution miss for {leaf!r}")
+                pending_plain.append(JunkPayload(leaf.length))
+                continue
+            cached = buffers_for_range(chunk.buffers, leaf.base_offset,
+                                       leaf.length)
+            if not self.inherit_checksums:
+                # Fresh descriptors so the recompute (and the stack's
+                # subsequent marking) never touches the cached buffers.
+                cached = [NetBuffer(payload=b.payload, headers=list(b.headers),
+                                    flavor=b.flavor,
+                                    meta={k: v for k, v in b.meta.items()
+                                          if k != "csum_known"})
+                          for b in cached]
+            substituted += len(cached)
+            if pending_plain:
+                # Merge header bytes into the first data packet, as the
+                # RPC/HTTP header shares the first fragment with data.
+                first = cached[0]
+                merged = NetBuffer(
+                    payload=concat(pending_plain + [first.payload]),
+                    flavor=flavor)
+                pending_plain.clear()
+                new_buffers.append(merged)
+                new_buffers.extend(cached[1:])
+            else:
+                new_buffers.extend(cached)
+        emit_plain()
+
+        yield from self.host.acct.compute(
+            costs.ncache_reply_fixed_ns
+            + lookups * (costs.ncache_lookup_ns + costs.ncache_mgmt_ns)
+            + max(1, substituted) * costs.ncache_substitute_ns,
+            "ncache.substitute")
+        if trace is not None:
+            self.counters.add("ncache.substituted_packets", substituted)
+        dgram.chain = BufferChain(new_buffers)
+        self._recompute_framing(dgram)
+        self.counters.add("ncache.substituted_replies")
+
+    def _recompute_framing(self, dgram: Datagram) -> None:
+        costs = self.host.costs
+        frames = max(1, len(dgram.chain.buffers))
+        payload = dgram.chain.payload_bytes
+        dgram.n_frames = frames
+        if dgram.protocol == "udp":
+            dgram.wire_bytes = (payload + costs.udp_header
+                                + frames * (costs.ip_header
+                                            + costs.ethernet_overhead))
+        else:
+            dgram.wire_bytes = payload + frames * (
+                costs.tcp_header + costs.ip_header + costs.ethernet_overhead)
+
+    # ------------------------------------------------------------------
+    # Second-level cache seam (§3.4)
+    # ------------------------------------------------------------------
+
+    def try_serve_read(self, lbn: int, nblocks: int,
+                       trace: Optional[RequestTrace]
+                       ) -> Generator[Event, Any, Optional[Payload]]:
+        """Serve a block-device read from the LBN cache if fully present.
+
+        The file-system buffer cache is deliberately small under NCache;
+        its misses re-surface here and hit the much larger network-centric
+        cache instead of the storage server.  Partial hits fall through to
+        the wire (the whole extent is refetched and re-cached).
+        """
+        costs = self.host.costs
+        yield from self.host.acct.compute(
+            nblocks * costs.ncache_lookup_ns, "ncache.l2_lookup")
+        keys = [LbnKey(self.lun, lbn + i) for i in range(nblocks)]
+        chunks = [self.store.lookup_lbn(key) for key in keys]
+        if any(chunk is None for chunk in chunks):
+            self.counters.add("ncache.l2_miss")
+            return None
+        self.counters.add("ncache.l2_hit")
+        yield from self.host.acct.compute(
+            nblocks * costs.ncache_mgmt_ns, "ncache.l2_serve")
+        parts: List[Payload] = [
+            KeyedPayload(chunk.length, lbn_key=key)
+            for key, chunk in zip(keys, chunks)]
+        return concat(parts)
+
+    # ------------------------------------------------------------------
+    # VFS seam
+    # ------------------------------------------------------------------
+
+    def lbn_annotator(self, block_payload: Payload, lbn: int) -> Payload:
+        """Stamp the LBN key onto keyed blocks stored in the FS cache."""
+        if isinstance(block_payload, KeyedPayload):
+            return block_payload.with_lbn(LbnKey(self.lun, lbn))
+        return block_payload

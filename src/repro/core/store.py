@@ -1,0 +1,202 @@
+"""The network-centric cache store: LBN cache + FHO cache + shared LRU.
+
+"The network-centric cache in an NFS server is decomposed into two parts:
+an LBN cache and an FHO cache, because there are two sources of data"
+(§3.4).  Both caches share one LRU list of chunks and one memory budget
+(the pinned network-buffer pool).  Replacement is the paper's: touch moves
+a chunk to the tail; reclamation takes from the head; clean chunks are
+freed, dirty chunks are written back first (the store hands dirty victims
+to the caller, which owns the I/O path).
+
+Beyond the paper's text, the store completes the design with two pieces of
+necessary engineering, both flagged in DESIGN.md:
+
+* **pinning** — chunks referenced by an in-flight reply cannot be
+  reclaimed out from under the substitution step;
+* **reclaim notification** — when a chunk disappears, any file-system
+  cache page still holding its key is invalidated (otherwise a later read
+  hit would dereference a dangling key and serve junk).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional
+
+from ..sim.stats import CounterSet
+from .chunk import Chunk
+from .keys import FhoKey, LbnKey
+
+
+class NCacheStore:
+    """Memory-bounded chunk store with LBN and FHO indexes."""
+
+    def __init__(self, capacity_bytes: int, chunk_size: int = 4096,
+                 per_buffer_overhead: int = 160,
+                 per_chunk_overhead: int = 64,
+                 counters: Optional[CounterSet] = None) -> None:
+        if capacity_bytes < chunk_size:
+            raise ValueError("capacity smaller than one chunk")
+        self.capacity_bytes = capacity_bytes
+        self.chunk_size = chunk_size
+        self.per_buffer_overhead = per_buffer_overhead
+        self.per_chunk_overhead = per_chunk_overhead
+        self.counters = counters if counters is not None else CounterSet()
+        self._lbn: Dict[LbnKey, Chunk] = {}
+        self._fho: Dict[FhoKey, Chunk] = {}
+        self._lru: "OrderedDict[int, Chunk]" = OrderedDict()
+        self._used = 0
+        #: callbacks ``fn(chunk)`` invoked when a chunk leaves the store.
+        self.reclaim_listeners: List[Callable[[Chunk], None]] = []
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._lru)
+
+    @property
+    def n_lbn(self) -> int:
+        return len(self._lbn)
+
+    @property
+    def n_fho(self) -> int:
+        return len(self._fho)
+
+    def dirty_chunks(self) -> List[Chunk]:
+        return [c for c in self._lru.values() if c.dirty]
+
+    def _footprint(self, chunk: Chunk) -> int:
+        return chunk.footprint(self.per_buffer_overhead,
+                               self.per_chunk_overhead)
+
+    # -- lookup -----------------------------------------------------------------
+
+    def lookup_lbn(self, key: LbnKey, touch: bool = True) -> Optional[Chunk]:
+        chunk = self._lbn.get(key)
+        if chunk is None:
+            self.counters.add("ncache.lbn_miss")
+            return None
+        self.counters.add("ncache.lbn_hit")
+        if touch:
+            self._touch(chunk)
+        return chunk
+
+    def lookup_fho(self, key: FhoKey, touch: bool = True) -> Optional[Chunk]:
+        chunk = self._fho.get(key)
+        if chunk is None:
+            self.counters.add("ncache.fho_miss")
+            return None
+        self.counters.add("ncache.fho_hit")
+        if touch:
+            self._touch(chunk)
+        return chunk
+
+    def resolve(self, fho_key: Optional[FhoKey], lbn_key: Optional[LbnKey],
+                touch: bool = True) -> Optional[Chunk]:
+        """FHO-first lookup: dirty written data always wins (§3.4)."""
+        chunk = None
+        if fho_key is not None:
+            chunk = self.lookup_fho(fho_key, touch)
+        if chunk is None and lbn_key is not None:
+            chunk = self.lookup_lbn(lbn_key, touch)
+        return chunk
+
+    def _touch(self, chunk: Chunk) -> None:
+        self._lru.move_to_end(id(chunk))
+
+    # -- insertion / eviction ------------------------------------------------------
+
+    def make_room(self, nbytes: int) -> List[Chunk]:
+        """Evict LRU chunks until ``nbytes`` fit; return dirty victims.
+
+        Pinned chunks are skipped.  Every victim (clean or dirty) is
+        removed from both indexes and announced to reclaim listeners;
+        dirty victims are returned for the caller to write back.
+        """
+        dirty_victims: List[Chunk] = []
+        while self.capacity_bytes - self._used < nbytes:
+            victim = self._pick_victim()
+            if victim is None:
+                raise RuntimeError(
+                    "NCache cannot make room: all chunks pinned")
+            self._remove(victim)
+            if victim.dirty:
+                dirty_victims.append(victim)
+                self.counters.add("ncache.evict_dirty")
+            else:
+                self.counters.add("ncache.evict_clean")
+        return dirty_victims
+
+    def _pick_victim(self) -> Optional[Chunk]:
+        for chunk in self._lru.values():  # head = least recently used
+            if not chunk.pinned:
+                return chunk
+        return None
+
+    def _remove(self, chunk: Chunk) -> None:
+        del self._lru[id(chunk)]
+        self._used -= self._footprint(chunk)
+        # Pop the index entry only if it still points at this chunk — a
+        # remap may already have installed a replacement under this key.
+        index = self._lbn if isinstance(chunk.key, LbnKey) else self._fho
+        if index.get(chunk.key) is chunk:
+            del index[chunk.key]
+        for listener in self.reclaim_listeners:
+            listener(chunk)
+
+    def insert(self, chunk: Chunk) -> None:
+        """Insert a chunk under its key, replacing any existing entry.
+
+        Replacement of an FHO entry by a newer write is the *overwritten*
+        path; caller must have called :meth:`make_room` first.  The new
+        mapping is installed *before* the stale chunk is reclaimed so
+        reclaim listeners observe the block as still resolvable — the
+        same ordering rule as :meth:`remap`.
+        """
+        index = self._lbn if isinstance(chunk.key, LbnKey) else self._fho
+        existing = index.get(chunk.key)
+        footprint = self._footprint(chunk)
+        freed = self._footprint(existing) if existing is not None else 0
+        if self.capacity_bytes - self._used + freed < footprint:
+            raise RuntimeError("insert without room; call make_room() first")
+        self._used += footprint
+        self._lru[id(chunk)] = chunk
+        index[chunk.key] = chunk
+        if existing is not None and existing is not chunk:
+            self._remove(existing)
+            self.counters.add("ncache.overwrite")
+
+    def drop(self, chunk: Chunk) -> None:
+        """Explicitly remove a chunk (invalidation)."""
+        if id(chunk) in self._lru:
+            self._remove(chunk)
+
+    # -- remapping -------------------------------------------------------------------
+
+    def remap(self, fho_key: FhoKey, lbn_key: LbnKey) -> Optional[Chunk]:
+        """Convert an FHO entry to an LBN entry (§3.4).
+
+        The chunk's key changes from the FHO to the LBN; an existing LBN
+        entry with the same key is overwritten ("data in the FHO cache is
+        always more up-to-date").  The chunk is marked clean: remapping
+        happens while the block is being flushed to stable storage.
+        Returns the remapped chunk, or None if the FHO entry is gone.
+        """
+        chunk = self._fho.pop(fho_key, None)
+        if chunk is None:
+            return None
+        stale = self._lbn.get(lbn_key)
+        chunk.key = lbn_key
+        chunk.dirty = False
+        self._lbn[lbn_key] = chunk  # installed before the stale removal so
+        # reclaim listeners observe the block as still resolvable
+        if stale is not None and stale is not chunk:
+            self._remove(stale)
+            self.counters.add("ncache.remap_overwrite")
+        self.counters.add("ncache.remap")
+        return chunk

@@ -1,0 +1,25 @@
+"""One module per paper table/figure, plus ablations.
+
+Each module exposes ``run(quick=True) -> ExperimentResult`` and can be
+executed directly (``python -m repro.experiments.figure5``).
+"""
+
+from . import ablations, figure4, figure5, figure6, figure7, table1, table2
+
+__all__ = ["ablations", "figure4", "figure5", "figure6", "figure7",
+           "table1", "table2"]
+
+
+def run_all(quick: bool = True) -> list:
+    """Every table and figure, in paper order."""
+    results = [
+        table1.run(quick),
+        table2.run(quick),
+        figure4.run(quick),
+        figure5.run(quick),
+        figure6.run_working_set(quick),
+        figure6.run_allhit(quick),
+        figure7.run(quick),
+    ]
+    results.extend(ablations.run(quick))
+    return results

@@ -1,0 +1,63 @@
+"""Regenerate every table and figure from the command line.
+
+Usage::
+
+    python -m repro.experiments                 # quick mode, all
+    python -m repro.experiments --full          # paper-scale windows
+    python -m repro.experiments figure5 table2  # a subset
+    python -m repro.experiments --out results/  # also write .txt files
+
+Each experiment prints its rendered table; with ``--out`` the tables are
+also written one file per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import ablations, figure4, figure5, figure6, figure7, table1, table2
+
+RUNNERS = {
+    "table1": lambda quick: [table1.run(quick)],
+    "table2": lambda quick: [table2.run(quick)],
+    "figure4": lambda quick: [figure4.run(quick)],
+    "figure5": lambda quick: [figure5.run(quick)],
+    "figure6": lambda quick: [figure6.run_working_set(quick),
+                              figure6.run_allhit(quick)],
+    "figure7": lambda quick: [figure7.run(quick)],
+    "ablations": ablations.run,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        choices=[*RUNNERS, []],
+                        help="subset to run (default: all)")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale windows instead of quick mode")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory to write rendered tables into")
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list(RUNNERS)
+    quick = not args.full
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        for result in RUNNERS[name](quick):
+            print(result.render())
+            print()
+            if args.out is not None:
+                path = args.out / f"{result.name}.txt"
+                path.write_text(result.render() + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Shared experiment machinery: testbed builders, warm-start, durations.
+
+Every experiment follows the same protocol: build a testbed for one
+:class:`ServerMode`, install a workload, warm up, reset meters, measure.
+``quick=True`` (the default for tests and CI) shrinks the simulated
+windows — and, for the cache-geometry experiments, the memory sizes,
+keeping all *ratios* intact while cutting wall-clock time.
+
+Warm-start (:func:`warm_caches`) pre-populates the server's caches with a
+ranked file set directly, instead of simulating tens of seconds of cache
+fill: measurements start from the steady state the paper measures in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.chunk import Chunk
+from ..core.keys import KeyedPayload, LbnKey
+from ..net.buffer import JunkPayload, chain_from_payload
+from ..servers.config import MB, ServerMode, TestbedConfig
+from ..servers.testbed import NfsTestbed, WebTestbed
+
+ALL_MODES = (ServerMode.ORIGINAL, ServerMode.BASELINE, ServerMode.NCACHE)
+
+#: Request sizes of Figures 4 and 5.
+NFS_REQUEST_SIZES = (4096, 8192, 16384, 32768)
+#: Request sizes of Figure 6(b).
+WEB_REQUEST_SIZES = (16384, 32768, 65536, 131072)
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """Measurement windows (simulated seconds)."""
+
+    warmup_s: float
+    measure_s: float
+
+
+QUICK = Protocol(warmup_s=0.15, measure_s=0.35)
+FULL = Protocol(warmup_s=0.4, measure_s=1.0)
+
+
+def protocol(quick: bool) -> Protocol:
+    """The measurement windows for quick or full mode."""
+    return QUICK if quick else FULL
+
+
+def nfs_testbed(mode: ServerMode, n_nics: int = 1, n_daemons: int = 16,
+                flush_interval_s: Optional[float] = 0.25,
+                **config_overrides) -> NfsTestbed:
+    """A fully-built NFS testbed for one server mode."""
+    cfg = TestbedConfig(mode=mode, n_server_nics=n_nics,
+                        n_daemons=n_daemons, **config_overrides)
+    return NfsTestbed(cfg, flush_interval_s=flush_interval_s)
+
+
+def web_testbed(mode: ServerMode, n_nics: int = 2,
+                connections_per_client: int = 6,
+                **config_overrides) -> WebTestbed:
+    """A fully-built kHTTPd testbed for one server mode."""
+    cfg = TestbedConfig(mode=mode, n_server_nics=n_nics, **config_overrides)
+    return WebTestbed(cfg, connections_per_client=connections_per_client)
+
+
+def warm_caches(testbed, ranked_names: Sequence[str]) -> None:
+    """Pre-populate server caches with files, hottest last (MRU).
+
+    ``ranked_names`` is hottest-first; insertion is coldest-first so the
+    LRU order after warm-start matches a long-running steady state.  Only
+    what fits stays resident, exactly as eviction would leave it.
+    """
+    mode = testbed.config.mode
+    image = testbed.image
+    block_size = image.block_size
+    if mode is ServerMode.NCACHE:
+        _warm_ncache(testbed, ranked_names)
+        return
+    # Original/baseline: fill the file-system buffer cache.
+    cache = testbed.cache
+    capacity = cache.capacity_blocks
+    # Collect (hottest-first) blocks until the cache is full.
+    blocks: List[tuple] = []
+    for name in ranked_names:
+        inode = image.lookup(name)
+        for b in range(inode.nblocks):
+            if len(blocks) >= capacity:
+                break
+            blocks.append((inode, b))
+        if len(blocks) >= capacity:
+            break
+    for inode, b in reversed(blocks):  # coldest first
+        lbn = inode.block_lbn(b)
+        if mode is ServerMode.BASELINE:
+            payload = JunkPayload(block_size)
+        else:
+            payload = image.initial_block_payload(lbn)
+        cache.make_room(1)
+        cache.insert(lbn, payload)
+
+
+def _warm_ncache(testbed, ranked_names: Sequence[str]) -> None:
+    """NCache warm-start: chunks in the LBN cache, keys in the FS cache."""
+    image = testbed.image
+    store = testbed.ncache.store
+    block_size = image.block_size
+    mss = testbed.config.costs.tcp_mss
+    lun = testbed.ncache.lun
+    # Budget in chunk footprints.
+    sample_chunk = Chunk(LbnKey(lun, 0), list(chain_from_payload(
+        JunkPayload(block_size), mss)))
+    footprint = sample_chunk.footprint(store.per_buffer_overhead,
+                                       store.per_chunk_overhead)
+    capacity = store.capacity_bytes // footprint
+    blocks: List[tuple] = []
+    for name in ranked_names:
+        inode = image.lookup(name)
+        for b in range(inode.nblocks):
+            if len(blocks) >= capacity:
+                break
+            blocks.append((inode, b))
+        if len(blocks) >= capacity:
+            break
+    for inode, b in reversed(blocks):
+        lbn = inode.block_lbn(b)
+        payload = image.initial_block_payload(lbn)
+        chain = chain_from_payload(payload, mss)
+        for buf in chain:
+            buf.meta["csum_known"] = True
+        chunk = Chunk(LbnKey(lun, lbn), list(chain))
+        for victim in store.make_room(footprint):
+            raise RuntimeError("dirty victim during warm start")
+        store.insert(chunk)
+    # FS cache: hottest blocks as key-only pages.
+    fs_capacity = testbed.cache.capacity_blocks
+    for inode, b in reversed(blocks[:fs_capacity]):
+        lbn = inode.block_lbn(b)
+        testbed.cache.make_room(1)
+        testbed.cache.insert(
+            lbn, KeyedPayload(block_size, lbn_key=LbnKey(lun, lbn)))
+
+
+def scaled_memory_config(scale: int = 1) -> dict:
+    """Config overrides shrinking the server memory geometry by ``scale``.
+
+    All cache-size ratios (RAM : carve-out : FS cache) are preserved, so
+    working-set sweeps keep their shape while quick runs stay small.
+    """
+    if scale == 1:
+        return {}
+    return {
+        "server_ram_bytes": 896 * MB // scale,
+        "server_kernel_carveout": 96 * MB // scale,
+        "ncache_fs_cache_bytes": 64 * MB // scale,
+    }

@@ -1,0 +1,24 @@
+"""Filesystem substrate: disks, image, buffer cache, VFS."""
+
+from .buffer_cache import BufferCache, CacheEntry
+from .disk import BLOCK_SIZE, DiskModel, Raid0, make_paper_raid
+from .image import DiskStore, FileType, FsImage, Inode, LbnOwner
+from .localdev import LocalBlockDevice
+from .vfs import VFS, BlockDevice
+
+__all__ = [
+    "BLOCK_SIZE",
+    "BlockDevice",
+    "BufferCache",
+    "CacheEntry",
+    "DiskModel",
+    "DiskStore",
+    "FileType",
+    "FsImage",
+    "Inode",
+    "LbnOwner",
+    "LocalBlockDevice",
+    "Raid0",
+    "VFS",
+    "make_paper_raid",
+]

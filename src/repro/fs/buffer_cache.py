@@ -1,0 +1,173 @@
+"""The file-system buffer/page cache (Linux page-cache analog).
+
+An LRU cache of fixed-size blocks keyed by LBN.  Under NCache the entries
+hold :class:`~repro.core.keys.KeyedPayload` placeholders ("the retrieved
+block contains only a key and some 'junk' data", §3.2) — but they still
+occupy a full page each, which is exactly the double-buffering problem the
+paper controls by *limiting this cache's size* (§3.4/§4.1).
+
+Eviction follows the paper: "first clean buffers are reclaimed and then
+dirty buffers are flushed and reclaimed".  The cache itself never performs
+I/O: :meth:`make_room` hands dirty victims back to the caller (the VFS),
+which writes them back through the block device — under NCache that
+writeback is what triggers FHO→LBN *remapping*.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..net.buffer import Payload
+from ..sim.stats import CounterSet
+from .disk import BLOCK_SIZE
+
+
+@dataclass
+class CacheEntry:
+    """One cached block."""
+
+    lbn: int
+    payload: Payload
+    dirty: bool = False
+    is_metadata: bool = False
+    #: page-lock count: pinned pages are skipped by eviction, exactly like
+    #: locked pages during in-flight I/O in a real kernel.
+    pins: int = 0
+
+    @property
+    def pinned(self) -> bool:
+        return self.pins > 0
+
+    @property
+    def size(self) -> int:
+        return BLOCK_SIZE
+
+
+class BufferCache:
+    """LRU page cache with byte capacity and clean-first eviction."""
+
+    def __init__(self, capacity_bytes: int, block_size: int = BLOCK_SIZE,
+                 counters: Optional[CounterSet] = None) -> None:
+        if capacity_bytes < block_size:
+            raise ValueError("cache smaller than one block")
+        self.capacity_bytes = capacity_bytes
+        self.block_size = block_size
+        self.counters = counters if counters is not None else CounterSet()
+        self._entries: "OrderedDict[int, CacheEntry]" = OrderedDict()
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return len(self._entries) * self.block_size
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self.capacity_bytes // self.block_size
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, lbn: int) -> bool:
+        return lbn in self._entries
+
+    def dirty_lbns(self) -> List[int]:
+        """Dirty blocks, least-recently-used first."""
+        return [e.lbn for e in self._entries.values() if e.dirty]
+
+    # -- lookup / insert ------------------------------------------------------
+
+    def lookup(self, lbn: int, touch: bool = True) -> Optional[CacheEntry]:
+        entry = self._entries.get(lbn)
+        if entry is None:
+            self.counters.add("bcache.miss")
+            return None
+        self.counters.add("bcache.hit")
+        if touch:
+            self._entries.move_to_end(lbn)
+        return entry
+
+    def peek(self, lbn: int) -> Optional[CacheEntry]:
+        """Lookup without LRU side effects or hit/miss accounting."""
+        return self._entries.get(lbn)
+
+    def make_room(self, nblocks: int = 1) -> List[CacheEntry]:
+        """Evict until ``nblocks`` fit; return dirty victims to write back.
+
+        Clean victims are reclaimed silently (oldest first); dirty victims
+        are removed from the cache and returned — the caller must flush
+        them before their memory is considered reusable (the simulation
+        enforces this by having the VFS write them back before inserting).
+        """
+        needed = nblocks * self.block_size
+        dirty_victims: List[CacheEntry] = []
+        while self.capacity_bytes - self.used_bytes < needed:
+            victim = self._pick_victim()
+            if victim is None:
+                raise RuntimeError("buffer cache cannot make room")
+            del self._entries[victim.lbn]
+            if victim.dirty:
+                dirty_victims.append(victim)
+                self.counters.add("bcache.evict_dirty")
+            else:
+                self.counters.add("bcache.evict_clean")
+        return dirty_victims
+
+    def _pick_victim(self) -> Optional[CacheEntry]:
+        chosen: Optional[CacheEntry] = None
+        for entry in self._entries.values():  # LRU order
+            if not entry.dirty and not entry.pinned:
+                chosen = entry
+                break
+        if chosen is None:
+            # No clean buffer: reclaim the LRU unpinned dirty one.
+            chosen = next((e for e in self._entries.values()
+                           if not e.pinned), None)
+        return chosen
+
+    def pin(self, lbn: int) -> bool:
+        """Page-lock a block against eviction; True if it was present."""
+        entry = self._entries.get(lbn)
+        if entry is None:
+            return False
+        entry.pins += 1
+        return True
+
+    def unpin(self, lbn: int) -> None:
+        entry = self._entries.get(lbn)
+        if entry is not None and entry.pins > 0:
+            entry.pins -= 1
+
+    def insert(self, lbn: int, payload: Payload, dirty: bool = False,
+               is_metadata: bool = False) -> CacheEntry:
+        """Insert or replace a block; caller must have made room first."""
+        if self.capacity_bytes - self.used_bytes < self.block_size \
+                and lbn not in self._entries:
+            raise RuntimeError(
+                "insert without room; call make_room() and flush victims")
+        entry = CacheEntry(lbn=lbn, payload=payload, dirty=dirty,
+                           is_metadata=is_metadata)
+        self._entries[lbn] = entry
+        self._entries.move_to_end(lbn)
+        return entry
+
+    # -- state changes -----------------------------------------------------------
+
+    def mark_clean(self, lbn: int) -> None:
+        entry = self._entries.get(lbn)
+        if entry is not None:
+            entry.dirty = False
+
+    def invalidate(self, lbn: int) -> None:
+        self._entries.pop(lbn, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def hit_ratio(self) -> float:
+        hits = self.counters["bcache.hit"].value
+        misses = self.counters["bcache.miss"].value
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -1,0 +1,20 @@
+"""HTTP: messages, kHTTPd in-kernel static server, measurement client."""
+
+from .client import HttpClient, response_body
+from .khttpd import KHttpd
+from .messages import (
+    HEADER_TERMINATOR,
+    HttpRequest,
+    HttpResponse,
+    find_body_offset,
+)
+
+__all__ = [
+    "HEADER_TERMINATOR",
+    "HttpClient",
+    "HttpRequest",
+    "HttpResponse",
+    "KHttpd",
+    "find_body_offset",
+    "response_body",
+]

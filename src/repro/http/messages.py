@@ -1,0 +1,81 @@
+"""HTTP/1.1 messages with *real* header bytes.
+
+Unlike NFS and iSCSI (whose headers we model by size), HTTP headers are
+materialized as actual bytes: the NCache classifier for kHTTPd finds the
+header/body boundary by scanning for ``\\r\\n\\r\\n`` in the outgoing
+stream, exactly as §3.5 describes ("for HTTP some specific string patterns
+in HTTP response header, like '\\r\\n\\r\\n'").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+HEADER_TERMINATOR = b"\r\n\r\n"
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP request line plus headers (real bytes on the wire)."""
+
+    method: str
+    path: str
+    version: str = "HTTP/1.1"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def serialize(self) -> bytes:
+        lines = [f"{self.method} {self.path} {self.version}"]
+        base = {"Host": "server", "Connection": "keep-alive"}
+        base.update(self.headers)
+        lines.extend(f"{k}: {v}" for k, v in base.items())
+        return ("\r\n".join(lines)).encode("ascii") + HEADER_TERMINATOR
+
+    @property
+    def header_size(self) -> int:
+        return len(self.serialize())
+
+    @property
+    def is_metadata(self) -> bool:
+        return True  # requests carry no file data
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP response header; the body rides in the datagram."""
+
+    status: int
+    content_length: int
+    content_type: str = "text/html"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    REASONS = {200: "OK", 404: "Not Found", 416: "Range Not Satisfiable"}
+
+    def serialize_header(self) -> bytes:
+        reason = self.REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}",
+                 "Server: kHTTPd/1.0 (simulated)",
+                 f"Content-Length: {self.content_length}",
+                 f"Content-Type: {self.content_type}",
+                 "Connection: keep-alive"]
+        lines.extend(f"{k}: {v}" for k, v in self.headers.items())
+        return ("\r\n".join(lines)).encode("ascii") + HEADER_TERMINATOR
+
+    @property
+    def header_size(self) -> int:
+        return len(self.serialize_header())
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+
+def find_body_offset(first_fragment: bytes) -> int:
+    """Offset of the body within a response stream, or -1 if no terminator.
+
+    This is the classifier's pattern scan over the first packet's bytes.
+    """
+    idx = first_fragment.find(HEADER_TERMINATOR)
+    if idx < 0:
+        return -1
+    return idx + len(HEADER_TERMINATOR)

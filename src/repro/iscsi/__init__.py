@@ -1,0 +1,15 @@
+"""iSCSI: PDUs, initiator (block device), target (storage server)."""
+
+from .initiator import IscsiInitiator, default_target_endpoint
+from .pdu import BHS_SIZE, DataIn, ScsiCommand, ScsiResponse
+from .target import IscsiTarget
+
+__all__ = [
+    "BHS_SIZE",
+    "DataIn",
+    "IscsiInitiator",
+    "IscsiTarget",
+    "ScsiCommand",
+    "ScsiResponse",
+    "default_target_endpoint",
+]

@@ -1,0 +1,76 @@
+"""iSCSI PDUs (the subset the testbed exercises).
+
+Simplifications relative to RFC 3720, documented in DESIGN.md:
+
+* writes use immediate data (no R2T / Data-Out phase split);
+* a read's Data-In sequence plus its status response is carried as one
+  message burst with a collapsed final PDU.
+
+Neither changes the copy counts or the per-PDU/ per-segment cost structure
+that the paper's results depend on.
+
+The ``is_metadata`` flag on commands mirrors the paper's observation that
+the iSCSI header alone cannot distinguish metadata from regular data: "the
+page data structure associated with iSCSI requests contains the inode type
+information" (§3.3).  The initiator knows the inode type from the request
+context and the flag rides along, exactly like that page-structure hint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: iSCSI Basic Header Segment size.
+BHS_SIZE = 48
+
+
+@dataclass
+class ScsiCommand:
+    """A SCSI read or write command (write carries immediate data)."""
+
+    opcode: str  # "read" | "write"
+    task_tag: int
+    lun: int
+    lba: int
+    nblocks: int
+    is_metadata: bool = False
+
+    header_size: int = BHS_SIZE
+
+    def __post_init__(self) -> None:
+        if self.opcode not in ("read", "write"):
+            raise ValueError(f"bad opcode {self.opcode!r}")
+        if self.nblocks <= 0:
+            raise ValueError("nblocks must be positive")
+
+    @property
+    def is_read(self) -> bool:
+        return self.opcode == "read"
+
+    @property
+    def is_write(self) -> bool:
+        return self.opcode == "write"
+
+
+@dataclass
+class DataIn:
+    """Data-In: the payload of a read response (with collapsed status)."""
+
+    task_tag: int
+    lun: int
+    lba: int
+    nblocks: int
+    is_metadata: bool = False
+    status: int = 0
+
+    header_size: int = BHS_SIZE
+
+
+@dataclass
+class ScsiResponse:
+    """Status-only response (completes a write)."""
+
+    task_tag: int
+    status: int = 0
+
+    header_size: int = BHS_SIZE

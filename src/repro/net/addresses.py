@@ -1,0 +1,21 @@
+"""Addressing: endpoints are (ip, port) pairs; IPs are opaque strings."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Endpoint(NamedTuple):
+    """A transport endpoint."""
+
+    ip: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.ip}:{self.port}"
+
+
+# Well-known ports used by the testbed.
+NFS_PORT = 2049
+ISCSI_PORT = 3260
+HTTP_PORT = 80

@@ -1,0 +1,442 @@
+"""Network buffers: the sk_buff analog that NCache manipulates.
+
+Three layers of abstraction:
+
+* :class:`Payload` — an immutable sequence of bytes.  Large simulated
+  transfers use :class:`VirtualPayload`, whose bytes are a deterministic
+  function of a ``(tag, offset)`` pair and are only materialized on demand
+  (tests do; steady-state simulation does not).  This keeps the simulator
+  O(events) instead of O(bytes) while remaining byte-checkable.
+* :class:`NetBuffer` — one network buffer: a stack of protocol headers plus
+  a payload fragment, like a Linux ``sk_buff`` (or FreeBSD ``mbuf``; see
+  :class:`BufferFlavor`).
+* :class:`BufferChain` — an ordered list of NetBuffers forming one message
+  (an NFS reply, an iSCSI Data-In sequence, an HTTP response body...).
+
+Physical vs logical copying: *copying* is modelled by
+:meth:`Payload.physical_copy`, which returns an equal-content payload with
+fresh identity.  Whether a copy is physical (charged per byte) or logical
+(key-sized) is decided by :class:`repro.copymodel.accounting.CopyAccountant`;
+payloads themselves are cost-free value objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+_SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_U64_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _splitmix64(words: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer; ``words`` is a uint64 array."""
+    z = (words + _SPLITMIX_GAMMA).astype(np.uint64)
+    z = ((z ^ (z >> np.uint64(30))) * _MIX1) & _U64_MASK
+    z = ((z ^ (z >> np.uint64(27))) * _MIX2) & _U64_MASK
+    return (z ^ (z >> np.uint64(31))) & _U64_MASK
+
+
+def pattern_bytes(tag: int, offset: int, length: int) -> bytes:
+    """Deterministic pseudo-random bytes for virtual payload content.
+
+    Byte ``i`` of a virtual payload depends only on ``(tag, offset + i)``,
+    so slicing and concatenation commute with materialization.
+    """
+    if length <= 0:
+        return b""
+    first_word = offset >> 3
+    last_word = (offset + length - 1) >> 3
+    idx = np.arange(first_word, last_word + 1, dtype=np.uint64)
+    seeded = (idx * np.uint64(0x2545F4914F6CDD1D) + np.uint64(tag & 0xFFFFFFFFFFFFFFFF)) & _U64_MASK
+    words = _splitmix64(seeded)
+    raw = words.view(np.uint8).tobytes()
+    start = offset - first_word * 8
+    return raw[start:start + length]
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement 16-bit checksum of ``data``."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    if not data:
+        return 0xFFFF
+    arr = np.frombuffer(data, dtype=">u2")
+    total = int(arr.sum(dtype=np.uint64))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+class Payload:
+    """Abstract immutable byte sequence."""
+
+    __slots__ = ("_checksum",)
+
+    def __init__(self) -> None:
+        self._checksum: Optional[int] = None
+
+    @property
+    def length(self) -> int:
+        raise NotImplementedError
+
+    def materialize(self) -> bytes:
+        raise NotImplementedError
+
+    def slice(self, offset: int, length: int) -> "Payload":
+        raise NotImplementedError
+
+    def _check_slice(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.length:
+            raise ValueError(
+                f"slice [{offset}:{offset + length}] out of payload of "
+                f"length {self.length}")
+
+    def checksum16(self) -> int:
+        """Internet checksum of the payload bytes (cached)."""
+        if self._checksum is None:
+            self._checksum = internet_checksum(self.materialize())
+        return self._checksum
+
+    def physical_copy(self) -> "Payload":
+        """A content-equal payload with fresh identity (a memcpy result)."""
+        raise NotImplementedError
+
+    # Convenience used heavily by tests.
+    def same_bytes(self, other: "Payload") -> bool:
+        return (self.length == other.length
+                and self.materialize() == other.materialize())
+
+    def __len__(self) -> int:
+        return self.length
+
+
+class BytesPayload(Payload):
+    """A payload backed by real bytes (metadata, HTTP headers, small data)."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes) -> None:
+        super().__init__()
+        self.data = bytes(data)
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+    def materialize(self) -> bytes:
+        return self.data
+
+    def slice(self, offset: int, length: int) -> Payload:
+        self._check_slice(offset, length)
+        return BytesPayload(self.data[offset:offset + length])
+
+    def physical_copy(self) -> Payload:
+        return BytesPayload(self.data)
+
+    def __repr__(self) -> str:
+        return f"BytesPayload({len(self.data)}B)"
+
+
+class VirtualPayload(Payload):
+    """Deterministic lazily-materialized payload (bulk file data).
+
+    ``tag`` identifies the data source (e.g. a hash of (file id, block));
+    content is :func:`pattern_bytes`.
+    """
+
+    __slots__ = ("tag", "offset", "_length")
+
+    def __init__(self, tag: int, offset: int, length: int) -> None:
+        super().__init__()
+        if length < 0:
+            raise ValueError("negative length")
+        self.tag = tag
+        self.offset = offset
+        self._length = length
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def materialize(self) -> bytes:
+        return pattern_bytes(self.tag, self.offset, self._length)
+
+    def slice(self, offset: int, length: int) -> Payload:
+        self._check_slice(offset, length)
+        return VirtualPayload(self.tag, self.offset + offset, length)
+
+    def physical_copy(self) -> Payload:
+        return VirtualPayload(self.tag, self.offset, self._length)
+
+    def __repr__(self) -> str:
+        return f"VirtualPayload(tag={self.tag:#x}, off={self.offset}, {self._length}B)"
+
+
+class CompositePayload(Payload):
+    """Concatenation of payload fragments (gather, chunk merge)."""
+
+    __slots__ = ("parts", "_length")
+
+    def __init__(self, parts: Sequence[Payload]) -> None:
+        super().__init__()
+        flat: List[Payload] = []
+        for part in parts:
+            if part.length == 0:
+                continue
+            if isinstance(part, CompositePayload):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        self.parts = tuple(flat)
+        self._length = sum(p.length for p in self.parts)
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def materialize(self) -> bytes:
+        return b"".join(p.materialize() for p in self.parts)
+
+    def slice(self, offset: int, length: int) -> Payload:
+        self._check_slice(offset, length)
+        picked: List[Payload] = []
+        remaining = length
+        cursor = offset
+        for part in self.parts:
+            if remaining == 0:
+                break
+            if cursor >= part.length:
+                cursor -= part.length
+                continue
+            take = min(part.length - cursor, remaining)
+            picked.append(part.slice(cursor, take))
+            remaining -= take
+            cursor = 0
+        if len(picked) == 1:
+            return picked[0]
+        return CompositePayload(picked)
+
+    def physical_copy(self) -> Payload:
+        return CompositePayload([p.physical_copy() for p in self.parts])
+
+    def __repr__(self) -> str:
+        return f"CompositePayload({len(self.parts)} parts, {self._length}B)"
+
+
+class JunkPayload(Payload):
+    """Placeholder content of a given length.
+
+    This is what the *baseline* (ideal zero-copy) servers send on the wire
+    — §5.1: "the packets that are actually sent back to clients contain
+    only random bits as payload" — and what key-carrying placeholder blocks
+    contain before NCache substitutes the real data.
+    """
+
+    __slots__ = ("_length",)
+
+    def __init__(self, length: int) -> None:
+        super().__init__()
+        if length < 0:
+            raise ValueError("negative length")
+        self._length = length
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def materialize(self) -> bytes:
+        return b"\xAA" * self._length
+
+    def slice(self, offset: int, length: int) -> Payload:
+        self._check_slice(offset, length)
+        return JunkPayload(length)
+
+    def physical_copy(self) -> Payload:
+        return JunkPayload(self._length)
+
+    def __repr__(self) -> str:
+        return f"JunkPayload({self._length}B)"
+
+
+class PlaceholderPayload(JunkPayload):
+    """Marker base for payloads that stand in for logically-copied data.
+
+    The network stack skips software checksumming for placeholder content
+    (the real checksum is inherited at substitution time), and the NCache
+    TX hook recognizes placeholders as substitution targets.  The concrete
+    key-carrying subclass lives in :mod:`repro.core.keys` to keep the
+    substrate free of NCache concepts.
+    """
+
+    __slots__ = ()
+
+
+def concat(parts: Iterable[Payload]) -> Payload:
+    """Concatenate payloads, collapsing the single/empty cases."""
+    parts = [p for p in parts if p.length > 0]
+    if not parts:
+        return BytesPayload(b"")
+    if len(parts) == 1:
+        return parts[0]
+    return CompositePayload(parts)
+
+
+def apply_discipline(payload: Payload, discipline) -> Payload:
+    """Transform a payload according to a copy discipline.
+
+    * PHYSICAL — a fresh equal-content payload (the memcpy result);
+    * LOGICAL — the same object (only a key moved);
+    * ZERO — junk of equal length (the copy statement was deleted).
+
+    ``discipline`` is a :class:`repro.copymodel.accounting.CopyDiscipline`;
+    the comparison is by value name to keep this module dependency-free.
+    """
+    name = getattr(discipline, "name", str(discipline))
+    if name == "PHYSICAL":
+        return payload.physical_copy()
+    if name == "LOGICAL":
+        return payload
+    if name == "ZERO":
+        return JunkPayload(payload.length)
+    raise ValueError(f"unknown discipline {discipline!r}")
+
+
+class BufferFlavor(Enum):
+    """Which kernel's network-buffer structure we are imitating.
+
+    The paper's §4.2 notes that porting from Linux (``sk_buff``) to FreeBSD
+    (``mbuf``) requires no structural change because both support
+    variable-size buffer chains; the flavor only changes per-buffer
+    bookkeeping size and the default fragment capacity.
+    """
+
+    SK_BUFF = "sk_buff"
+    MBUF = "mbuf"
+
+    @property
+    def overhead_bytes(self) -> int:
+        # Approximate in-kernel descriptor sizes (Linux 2.4 / FreeBSD 4.x).
+        return 160 if self is BufferFlavor.SK_BUFF else 256
+
+    @property
+    def default_capacity(self) -> int:
+        # mbuf clusters are 2 KB; sk_buffs are sized to the MTU.
+        return 1500 if self is BufferFlavor.SK_BUFF else 2048
+
+
+@dataclass
+class NetBuffer:
+    """One network buffer: header stack + payload fragment + metadata.
+
+    ``headers`` is ordered outermost-first (Ethernet, IP, UDP/TCP, RPC...).
+    ``checksum`` caches the transport checksum covering this buffer's
+    payload; NCache *inherits* it instead of recomputing (§1).
+    """
+
+    payload: Payload
+    headers: List[object] = field(default_factory=list)
+    flavor: BufferFlavor = BufferFlavor.SK_BUFF
+    checksum: Optional[int] = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.payload.length
+
+    @property
+    def header_bytes(self) -> int:
+        return sum(h.wire_size() for h in self.headers)
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.header_bytes + self.payload_bytes
+
+    def find_header(self, cls: type):
+        """Innermost header of the given class, or ``None``."""
+        for header in reversed(self.headers):
+            if isinstance(header, cls):
+                return header
+        return None
+
+    def clone_with_payload(self, payload: Payload,
+                           checksum: Optional[int] = None) -> "NetBuffer":
+        """New buffer sharing this header stack but carrying ``payload``.
+
+        This is the substitution primitive: NCache swaps the junk payload
+        of an outgoing packet for cached network buffers.
+        """
+        return NetBuffer(payload=payload, headers=list(self.headers),
+                         flavor=self.flavor, checksum=checksum,
+                         meta=dict(self.meta))
+
+
+class BufferChain:
+    """An ordered list of NetBuffers forming one message."""
+
+    __slots__ = ("buffers",)
+
+    def __init__(self, buffers: Optional[Iterable[NetBuffer]] = None) -> None:
+        self.buffers: List[NetBuffer] = list(buffers) if buffers else []
+
+    def append(self, buf: NetBuffer) -> None:
+        self.buffers.append(buf)
+
+    def extend(self, bufs: Iterable[NetBuffer]) -> None:
+        self.buffers.extend(bufs)
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(b.payload_bytes for b in self.buffers)
+
+    @property
+    def wire_bytes(self) -> int:
+        return sum(b.wire_bytes for b in self.buffers)
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self.buffers)
+
+    def payload(self) -> Payload:
+        """The chain's full payload as a single (composite) payload."""
+        return concat(b.payload for b in self.buffers)
+
+    def __iter__(self) -> Iterator[NetBuffer]:
+        return iter(self.buffers)
+
+    def __len__(self) -> int:
+        return len(self.buffers)
+
+    def __repr__(self) -> str:
+        return f"BufferChain({len(self.buffers)} bufs, {self.payload_bytes}B payload)"
+
+
+def chain_from_payload(payload: Payload, fragment_size: int,
+                       headers_factory=None,
+                       flavor: BufferFlavor = BufferFlavor.SK_BUFF) -> BufferChain:
+    """Split ``payload`` into a chain of <=``fragment_size`` buffers.
+
+    ``headers_factory(index, fragment_payload)`` may supply a header stack
+    per buffer; default is headerless fragments.
+    """
+    if fragment_size <= 0:
+        raise ValueError("fragment_size must be positive")
+    chain = BufferChain()
+    offset = 0
+    index = 0
+    total = payload.length
+    while offset < total or (total == 0 and index == 0):
+        take = min(fragment_size, total - offset)
+        frag = payload.slice(offset, take)
+        headers = headers_factory(index, frag) if headers_factory else []
+        chain.append(NetBuffer(payload=frag, headers=list(headers), flavor=flavor))
+        offset += take
+        index += 1
+        if total == 0:
+            break
+    return chain

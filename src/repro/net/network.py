@@ -1,0 +1,130 @@
+"""Physical network: NICs, links and a non-blocking switch.
+
+The testbed topology is the paper's: every host plugs one or more gigabit
+NICs into a NetGear switch.  Each NIC gets a full-duplex pair of
+:class:`~repro.sim.resources.Link` objects (one per direction).  The switch
+backplane is non-blocking; only the per-port links contend.
+
+Transmission granularity is a whole :class:`Datagram` burst: the uplink is
+occupied for the burst's serialization time, then the destination downlink
+is.  Per-frame CPU costs are aggregated arithmetically by the socket layer
+(:mod:`repro.net.stack`); this keeps the event count O(messages), not
+O(frames), without changing which resource saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional, TYPE_CHECKING
+
+from ..sim.engine import Event, SimulationError, Simulator
+from ..sim.process import start
+from ..sim.resources import Link
+from .addresses import Endpoint
+from .buffer import BufferChain
+
+if TYPE_CHECKING:
+    from .host import Host
+
+
+@dataclass
+class Datagram:
+    """One transport-level message in flight.
+
+    ``chain`` holds the payload-bearing network buffers exactly as the
+    receiving stack will see them (fragment-sized); ``message`` carries the
+    parsed application object (an NFS call, an iSCSI PDU, ...), which the
+    simulation passes alongside to avoid re-parsing.  ``n_frames`` and
+    ``wire_bytes`` are precomputed from the cost model.
+    """
+
+    protocol: str  # "udp" | "tcp"
+    src: Endpoint
+    dst: Endpoint
+    message: Any
+    chain: BufferChain
+    n_frames: int
+    wire_bytes: int
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.chain.payload_bytes
+
+
+class NIC:
+    """A network interface: two links and a reference to its host."""
+
+    def __init__(self, sim: Simulator, host: "Host", ip: str,
+                 bandwidth_bps: float, latency_s: float,
+                 checksum_offload: bool = True) -> None:
+        self.sim = sim
+        self.host = host
+        self.ip = ip
+        self.checksum_offload = checksum_offload
+        self.tx_link = Link(sim, bandwidth_bps, latency_s, name=f"{ip}.tx")
+        self.rx_link = Link(sim, bandwidth_bps, latency_s, name=f"{ip}.rx")
+        self.network: Optional["Network"] = None
+
+    def transmit(self, dgram: Datagram) -> Generator[Event, Any, None]:
+        """Serialize the burst onto the wire and hand it to the switch."""
+        if self.network is None:
+            raise SimulationError(f"NIC {self.ip} not attached to a network")
+        yield from self.tx_link.transmit(dgram.wire_bytes)
+        self.network.forward(dgram)
+
+
+class Network:
+    """The switch: routes datagrams between attached NICs by IP.
+
+    Loss injection: ``set_loss(rate, seed)`` drops that fraction of UDP
+    datagrams (whole messages, matching the burst granularity of the
+    model).  TCP legs stay lossless — the iSCSI session rides a reliable
+    transport and TCP recovery is out of scope (DESIGN.md §7); loss is an
+    NFS/UDP phenomenon, which is exactly where the paper's protocols can
+    experience it.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "switch") -> None:
+        self.sim = sim
+        self.name = name
+        self._ports: Dict[str, NIC] = {}
+        self._loss_rate = 0.0
+        self._loss_rng = None
+        self.dropped = 0
+
+    def set_loss(self, rate: float, seed: int = 0) -> None:
+        """Drop ``rate`` of UDP datagrams, deterministically per seed."""
+        if not 0.0 <= rate < 1.0:
+            raise SimulationError(f"loss rate {rate} outside [0, 1)")
+        from ..sim.rng import substream
+
+        self._loss_rate = rate
+        self._loss_rng = substream(seed, "loss") if rate > 0 else None
+
+    def attach(self, nic: NIC) -> None:
+        if nic.ip in self._ports:
+            raise SimulationError(f"duplicate IP {nic.ip!r}")
+        self._ports[nic.ip] = nic
+        nic.network = self
+
+    def nic_for(self, ip: str) -> NIC:
+        nic = self._ports.get(ip)
+        if nic is None:
+            raise SimulationError(f"no route to {ip!r}")
+        return nic
+
+    def forward(self, dgram: Datagram) -> None:
+        """Queue the burst on the destination port's downlink."""
+        if self._loss_rng is not None and dgram.protocol == "udp" \
+                and self._loss_rng.random() < self._loss_rate:
+            self.dropped += 1
+            return
+        dst_nic = self.nic_for(dgram.dst.ip)
+        start(self.sim, self._deliver(dst_nic, dgram),
+              name=f"deliver->{dgram.dst}")
+
+    def _deliver(self, nic: NIC, dgram: Datagram
+                 ) -> Generator[Event, Any, None]:
+        yield from nic.rx_link.transmit(dgram.wire_bytes)
+        nic.host.stack.receive(nic, dgram)

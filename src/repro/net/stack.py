@@ -1,0 +1,347 @@
+"""In-kernel network stack: UDP datagrams and simplified TCP.
+
+The stack charges protocol CPU costs (per frame, per datagram, per
+segment), applies the host's TX/RX hook chains (where an NCache module
+plugs in, "between the network stack and the Ethernet device driver",
+§4.1), performs the socket-boundary data movement under a caller-chosen
+:class:`~repro.copymodel.accounting.CopyDiscipline`, and hands bursts to
+NICs.
+
+TCP is message-oriented and lossless: the testbed LAN never drops, and the
+paper's results do not involve loss recovery.  What *is* modelled, because
+it shapes the kHTTPd numbers (§5.5: "the per-packet overhead of HTTP is
+higher than that of NFS because HTTP runs on TCP"), is the per-segment CPU
+cost and the ACK traffic in both directions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional, TYPE_CHECKING
+
+from ..copymodel.accounting import CopyDiscipline, RequestTrace
+from ..sim.engine import Event, SimulationError
+from ..sim.process import start
+from .addresses import Endpoint
+from .buffer import (
+    BufferChain,
+    BytesPayload,
+    CompositePayload,
+    JunkPayload,
+    Payload,
+    PlaceholderPayload,
+    chain_from_payload,
+    concat,
+)
+from .headers import IPv4Header, TCPHeader, UDPHeader
+from .network import NIC, Datagram
+
+if TYPE_CHECKING:
+    from .host import Host
+
+#: Handler for an inbound UDP datagram: a generator function
+#: ``handler(dgram)`` started as a process per datagram.
+UdpHandler = Callable[[Datagram], Generator]
+
+#: Handler for an inbound TCP message on an established connection.
+TcpHandler = Callable[["TCPConnection", Datagram], Generator]
+
+_ACK_WIRE_BYTES = 64 + 38  # minimal frame + wire overhead
+
+
+def count_placeholder_keys(payload: Payload) -> int:
+    """Number of key-carrying placeholder fragments inside ``payload``."""
+    if isinstance(payload, PlaceholderPayload):
+        return 1
+    if isinstance(payload, CompositePayload):
+        return sum(count_placeholder_keys(p) for p in payload.parts)
+    return 0
+
+
+class NetworkStack:
+    """One host's transport layer."""
+
+    def __init__(self, host: "Host") -> None:
+        self.host = host
+        self.sim = host.sim
+        self._udp_handlers: Dict[int, UdpHandler] = {}
+        self._tcp_listeners: Dict[int, Callable[["TCPConnection"], None]] = {}
+        self._connections: Dict[tuple, "TCPConnection"] = {}
+
+    # ------------------------------------------------------------------
+    # UDP
+    # ------------------------------------------------------------------
+
+    def udp_bind(self, port: int, handler: UdpHandler) -> None:
+        if port in self._udp_handlers:
+            raise SimulationError(f"UDP port {port} already bound")
+        self._udp_handlers[port] = handler
+
+    def udp_send(self, src_ip: str, src_port: int, dst: Endpoint,
+                 message: Any, data: Payload,
+                 header: Optional[Payload] = None,
+                 discipline: CopyDiscipline = CopyDiscipline.PHYSICAL,
+                 trace: Optional[RequestTrace] = None,
+                 is_metadata: bool = False,
+                 meta: Optional[dict] = None) -> Generator[Event, Any, Datagram]:
+        """Send one UDP datagram; returns after CPU work is charged.
+
+        ``header`` is the application-protocol header part (always built
+        and physically handled — it is small); ``data`` is the bulk part
+        moved under ``discipline``.
+        """
+        costs = self.host.costs
+        acct = self.host.acct
+        header = header if header is not None else BytesPayload(b"")
+        moved = yield from self._move_out(data, discipline, trace, is_metadata)
+        datagram_bytes = header.length + moved.length
+        n_frames = costs.udp_frames(datagram_bytes)
+        wire_bytes = costs.udp_wire_bytes(datagram_bytes)
+        yield from acct.compute(
+            n_frames * costs.packet_tx_ns + costs.udp_datagram_ns, "net.tx")
+        chain = self._build_chain(
+            concat([header, moved]), costs.udp_fragment_payload,
+            src_ip, src_port, dst, "udp")
+        dgram = Datagram(protocol="udp", src=Endpoint(src_ip, src_port),
+                         dst=dst, message=message, chain=chain,
+                         n_frames=n_frames, wire_bytes=wire_bytes,
+                         meta=dict(meta or {}))
+        dgram = yield from self.host.run_tx_hooks(dgram, trace)
+        yield from self._software_checksum_tx(dgram.chain)
+        nic = self.host.nic_for_ip(src_ip)
+        start(self.sim, nic.transmit(dgram), name=f"udp-tx {src_ip}->{dst}")
+        return dgram
+
+    # ------------------------------------------------------------------
+    # TCP
+    # ------------------------------------------------------------------
+
+    def tcp_listen(self, port: int,
+                   acceptor: Callable[["TCPConnection"], None]) -> None:
+        """Register ``acceptor(conn)``, called for each new connection.
+
+        The acceptor must set ``conn.on_message`` before returning.
+        """
+        if port in self._tcp_listeners:
+            raise SimulationError(f"TCP port {port} already listening")
+        self._tcp_listeners[port] = acceptor
+
+    def tcp_connect(self, src_ip: str, src_port: int, dst: Endpoint
+                    ) -> Generator[Event, Any, "TCPConnection"]:
+        """Three-way handshake; returns the established connection."""
+        local = Endpoint(src_ip, src_port)
+        conn = TCPConnection(self, local, dst)
+        self._connections[(local, dst)] = conn
+        costs = self.host.costs
+        yield from self.host.acct.compute(costs.tcp_segment_ns, "tcp.connect")
+        syn = Datagram(protocol="tcp", src=local, dst=dst, message=None,
+                       chain=BufferChain(), n_frames=1,
+                       wire_bytes=_ACK_WIRE_BYTES,
+                       meta={"tcp": "syn"})
+        nic = self.host.nic_for_ip(src_ip)
+        start(self.sim, nic.transmit(syn), name="tcp-syn")
+        yield conn.established
+        return conn
+
+    # ------------------------------------------------------------------
+    # Receive path (called by the Network when frames arrive)
+    # ------------------------------------------------------------------
+
+    def receive(self, nic: NIC, dgram: Datagram) -> None:
+        start(self.sim, self._rx_process(nic, dgram),
+              name=f"rx {dgram.src}->{dgram.dst}")
+
+    def _rx_process(self, nic: NIC, dgram: Datagram
+                    ) -> Generator[Event, Any, None]:
+        costs = self.host.costs
+        acct = self.host.acct
+        kind = dgram.meta.get("tcp")
+        if kind == "ack":
+            yield from acct.compute(
+                dgram.meta["n_acks"] * costs.tcp_ack_ns, "tcp.ack_rx")
+            return
+        if kind in ("syn", "synack"):
+            yield from acct.compute(costs.tcp_segment_ns, "tcp.connect")
+            self._handle_handshake(nic, dgram)
+            return
+
+        yield from acct.compute(dgram.n_frames * costs.packet_rx_ns, "net.rx")
+        if dgram.protocol == "udp":
+            yield from acct.compute(costs.udp_datagram_ns, "udp.rx")
+        else:
+            yield from acct.compute(
+                dgram.n_frames * costs.tcp_segment_ns, "tcp.rx")
+        yield from self._software_checksum_rx(dgram.chain)
+        dgram = yield from self.host.run_rx_hooks(dgram)
+
+        if dgram.protocol == "tcp":
+            self._ack(nic, dgram)
+            conn = self._connections.get((dgram.dst, dgram.src))
+            if conn is None:
+                raise SimulationError(
+                    f"TCP data for unknown connection {dgram.src}->{dgram.dst}")
+            if conn.on_message is None:
+                raise SimulationError(
+                    f"connection {conn.local}->{conn.remote} has no handler")
+            start(self.sim, conn.on_message(conn, dgram), name="tcp-handler")
+        else:
+            handler = self._udp_handlers.get(dgram.dst.port)
+            if handler is None:
+                self.host.counters.add("udp.dropped")
+                return
+            start(self.sim, handler(dgram), name=f"udp-handler:{dgram.dst.port}")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _move_out(self, data: Payload, discipline: CopyDiscipline,
+                  trace: Optional[RequestTrace], is_metadata: bool
+                  ) -> Generator[Event, Any, Payload]:
+        """The socket-boundary move (application buffer -> network buffers)."""
+        acct = self.host.acct
+        if data.length == 0:
+            return data
+        if is_metadata or discipline is CopyDiscipline.PHYSICAL:
+            yield from acct.physical_copy(data.length, "sock_tx", trace,
+                                          is_metadata)
+            return data.physical_copy()
+        if discipline is CopyDiscipline.LOGICAL:
+            nkeys = max(1, count_placeholder_keys(data))
+            yield from acct.logical_copy("sock_tx", nkeys, trace, data.length)
+            return data
+        # ZERO: the copy statement was deleted; junk goes on the wire.
+        self.host.counters.add("copies.elided")
+        return JunkPayload(data.length)
+
+    def _build_chain(self, payload: Payload, fragment_size: int, src_ip: str,
+                     src_port: int, dst: Endpoint, proto: str) -> BufferChain:
+        flavor = self.host.buffer_flavor
+
+        def headers_factory(index: int, frag: Payload):
+            hdrs: list = [IPv4Header(src_ip=src_ip, dst_ip=dst.ip,
+                                     protocol=proto)]
+            if index == 0:
+                if proto == "udp":
+                    hdrs.append(UDPHeader(src_port=src_port,
+                                          dst_port=dst.port))
+                else:
+                    hdrs.append(TCPHeader(src_port=src_port,
+                                          dst_port=dst.port))
+            return hdrs
+
+        return chain_from_payload(payload, fragment_size, headers_factory,
+                                  flavor=flavor)
+
+    def _software_checksum_tx(self, chain: BufferChain
+                              ) -> Generator[Event, Any, None]:
+        """Charge software checksum when the NIC cannot offload it.
+
+        Runs *after* the TX hooks: buffers whose checksum is already known
+        — cached network buffers re-emitted by NCache ("inherited from the
+        payload's originator", §1) — cost nothing; fresh buffers pay per
+        byte.  With offload on (the paper's default) the NIC does the work
+        and the CPU pays nothing either way.
+        """
+        if self.host.checksum_offload:
+            return
+        acct = self.host.acct
+        for buf in chain:
+            if buf.meta.get("csum_known") or buf.checksum is not None:
+                yield from acct.checksum(buf.payload_bytes, cached=True)
+            else:
+                yield from acct.checksum(buf.payload_bytes)
+                buf.meta["csum_known"] = True
+
+    def _software_checksum_rx(self, chain: BufferChain
+                              ) -> Generator[Event, Any, None]:
+        """Verify inbound checksums (software path) and mark them known.
+
+        Whether verified in hardware (offload) or software, a received
+        buffer's checksum is known afterwards — that is what a cached
+        chunk later *inherits* when its buffers are re-sent.
+        """
+        for buf in chain:
+            if not self.host.checksum_offload:
+                yield from self.host.acct.checksum(buf.payload_bytes)
+            buf.meta["csum_known"] = True
+
+    def _handle_handshake(self, nic: NIC, dgram: Datagram) -> None:
+        if dgram.meta["tcp"] == "syn":
+            acceptor = self._tcp_listeners.get(dgram.dst.port)
+            if acceptor is None:
+                raise SimulationError(f"no TCP listener on {dgram.dst}")
+            conn = TCPConnection(self, dgram.dst, dgram.src)
+            self._connections[(dgram.dst, dgram.src)] = conn
+            acceptor(conn)
+            conn.established.succeed(conn)
+            synack = Datagram(protocol="tcp", src=dgram.dst, dst=dgram.src,
+                              message=None, chain=BufferChain(), n_frames=1,
+                              wire_bytes=_ACK_WIRE_BYTES,
+                              meta={"tcp": "synack"})
+            start(self.sim, nic.transmit(synack), name="tcp-synack")
+        else:  # synack
+            conn = self._connections.get((dgram.dst, dgram.src))
+            if conn is not None and not conn.established.triggered:
+                conn.established.succeed(conn)
+
+    def _ack(self, nic: NIC, dgram: Datagram) -> None:
+        """Send aggregated delayed ACKs for a received data burst."""
+        n_acks = max(1, (dgram.n_frames + 1) // 2)
+        start(self.sim, self._ack_process(nic, dgram, n_acks), name="tcp-ack")
+
+    def _ack_process(self, nic: NIC, dgram: Datagram, n_acks: int
+                     ) -> Generator[Event, Any, None]:
+        yield from self.host.acct.compute(
+            n_acks * self.host.costs.tcp_ack_ns, "tcp.ack_tx")
+        ack = Datagram(protocol="tcp", src=dgram.dst, dst=dgram.src,
+                       message=None, chain=BufferChain(), n_frames=n_acks,
+                       wire_bytes=n_acks * _ACK_WIRE_BYTES,
+                       meta={"tcp": "ack", "n_acks": n_acks})
+        yield from nic.transmit(ack)
+
+
+class TCPConnection:
+    """An established, lossless, message-oriented TCP connection."""
+
+    def __init__(self, stack: NetworkStack, local: Endpoint,
+                 remote: Endpoint) -> None:
+        self.stack = stack
+        self.local = local
+        self.remote = remote
+        self.established = stack.sim.event()
+        #: generator function ``on_message(conn, dgram)``
+        self.on_message: Optional[TcpHandler] = None
+
+    def send(self, message: Any, data: Payload,
+             header: Optional[Payload] = None,
+             discipline: CopyDiscipline = CopyDiscipline.PHYSICAL,
+             trace: Optional[RequestTrace] = None,
+             is_metadata: bool = False,
+             meta: Optional[dict] = None
+             ) -> Generator[Event, Any, Datagram]:
+        """Send one application message over the connection."""
+        host = self.stack.host
+        costs = host.costs
+        header = header if header is not None else BytesPayload(b"")
+        moved = yield from self.stack._move_out(data, discipline, trace,
+                                                is_metadata)
+        message_bytes = header.length + moved.length
+        n_segments = costs.tcp_segments(message_bytes)
+        wire_bytes = costs.tcp_wire_bytes(message_bytes)
+        yield from host.acct.compute(
+            n_segments * (costs.packet_tx_ns + costs.tcp_segment_ns), "net.tx")
+        chain = self.stack._build_chain(
+            concat([header, moved]), costs.tcp_mss,
+            self.local.ip, self.local.port, self.remote, "tcp")
+        dgram = Datagram(protocol="tcp", src=self.local, dst=self.remote,
+                         message=message, chain=chain, n_frames=n_segments,
+                         wire_bytes=wire_bytes, meta=dict(meta or {}))
+        dgram = yield from host.run_tx_hooks(dgram, trace)
+        yield from self.stack._software_checksum_tx(dgram.chain)
+        nic = host.nic_for_ip(self.local.ip)
+        start(self.stack.sim, nic.transmit(dgram),
+              name=f"tcp-tx {self.local}->{self.remote}")
+        return dgram
+
+    def __repr__(self) -> str:
+        return f"TCPConnection({self.local} -> {self.remote})"

@@ -1,0 +1,23 @@
+"""NFS: protocol subset, in-kernel server, measurement client."""
+
+from .client import NfsClient, read_reply_data
+from .protocol import (
+    METADATA_PROCS,
+    FileHandle,
+    NfsCall,
+    NfsProc,
+    NfsReply,
+)
+from .server import FlushDaemon, NfsServer
+
+__all__ = [
+    "FileHandle",
+    "FlushDaemon",
+    "METADATA_PROCS",
+    "NfsCall",
+    "NfsClient",
+    "NfsProc",
+    "NfsReply",
+    "NfsServer",
+    "read_reply_data",
+]

@@ -1,0 +1,140 @@
+"""NFS client used by the workload generators.
+
+Mirrors the paper's measurement clients: they issue requests and receive
+replies but "do not interpret the payloads" (§5.1), so the client charges
+per-packet receive costs only — no payload copies — keeping client CPUs
+out of the bottleneck picture, as two P3 clients were in the testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..copymodel.accounting import RequestTrace
+from ..net.addresses import Endpoint
+from ..net.buffer import BytesPayload, JunkPayload, Payload
+from ..net.host import Host
+from ..net.network import Datagram
+from ..rpc.messages import XidMatcher
+from ..sim.engine import AnyOf, Event, SimulationError
+from .protocol import FileHandle, NfsCall, NfsProc, NfsReply
+
+
+class NfsClient:
+    """One mount point on a client host.
+
+    NFS over UDP recovers loss by client retransmission: a call is resent
+    with the *same xid* after ``rto_s`` (doubling per attempt, bounded by
+    ``max_attempts``).  The server's duplicate-request cache recognizes
+    the xid and replays the reply without re-executing the operation.
+    """
+
+    def __init__(self, host: Host, local_ip: str, server: Endpoint,
+                 local_port: int = 900, rto_s: float = 0.05,
+                 max_attempts: int = 6) -> None:
+        self.host = host
+        self.local_ip = local_ip
+        self.server = server
+        self.local_port = local_port
+        self.rto_s = rto_s
+        self.max_attempts = max_attempts
+        self.retransmissions = 0
+        self.matcher = XidMatcher(host.sim)
+        host.stack.udp_bind(local_port, self._on_reply)
+
+    def _on_reply(self, dgram: Datagram) -> Generator[Event, Any, None]:
+        reply = dgram.message
+        if not isinstance(reply, NfsReply):
+            raise SimulationError(f"client got {reply!r}")
+        # Late duplicate replies (a retransmitted call that raced with the
+        # original's reply) are dropped, like the real client does.
+        if self.matcher.is_pending(reply.xid):
+            self.matcher.resolve(reply.xid, dgram)
+        return
+        yield  # pragma: no cover - generator marker
+
+    # -- generic call ----------------------------------------------------------
+
+    def call(self, proc: NfsProc, fh: Optional[FileHandle] = None,
+             name: Optional[str] = None, offset: int = 0, count: int = 0,
+             data: Optional[Payload] = None,
+             trace: Optional[RequestTrace] = None,
+             new_size: Optional[int] = None
+             ) -> Generator[Event, Any, Datagram]:
+        """Issue one NFS call; returns the reply datagram."""
+        xid = self.matcher.new_xid()
+        call = NfsCall(xid=xid, proc=proc, fh=fh, name=name,
+                       offset=offset, count=count, new_size=new_size)
+        data = data if data is not None else BytesPayload(b"")
+        waiter = self.matcher.expect(xid)
+        meta = {"trace": trace} if trace is not None else None
+        rto = self.rto_s
+        for attempt in range(self.max_attempts):
+            yield from self.host.stack.udp_send(
+                src_ip=self.local_ip, src_port=self.local_port,
+                dst=self.server, message=call, data=data,
+                header=JunkPayload(call.header_size),
+                trace=trace, is_metadata=call.is_metadata, meta=meta)
+            timeout = self.host.sim.timeout(rto)
+            which, value = yield AnyOf(self.host.sim, [waiter, timeout])
+            if which == 0:
+                return value
+            self.retransmissions += 1
+            rto *= 2
+        self.matcher.cancel(xid)
+        raise SimulationError(
+            f"NFS call xid {xid} ({proc.name}) timed out after "
+            f"{self.max_attempts} attempts")
+
+    # -- convenience wrappers ---------------------------------------------------
+
+    def lookup(self, name: str, trace: Optional[RequestTrace] = None
+               ) -> Generator[Event, Any, NfsReply]:
+        dgram = yield from self.call(NfsProc.LOOKUP, name=name, trace=trace)
+        return dgram.message
+
+    def getattr(self, fh: FileHandle, trace: Optional[RequestTrace] = None
+                ) -> Generator[Event, Any, NfsReply]:
+        dgram = yield from self.call(NfsProc.GETATTR, fh=fh, trace=trace)
+        return dgram.message
+
+    def read(self, fh: FileHandle, offset: int, count: int,
+             trace: Optional[RequestTrace] = None
+             ) -> Generator[Event, Any, Datagram]:
+        """READ; the returned datagram's chain carries the data bytes."""
+        return (yield from self.call(NfsProc.READ, fh=fh, offset=offset,
+                                     count=count, trace=trace))
+
+    def write(self, fh: FileHandle, offset: int, data: Payload,
+              trace: Optional[RequestTrace] = None
+              ) -> Generator[Event, Any, Datagram]:
+        return (yield from self.call(NfsProc.WRITE, fh=fh, offset=offset,
+                                     count=data.length, data=data,
+                                     trace=trace))
+
+    def commit(self, fh: FileHandle, offset: int = 0, count: int = 0,
+               trace: Optional[RequestTrace] = None
+               ) -> Generator[Event, Any, NfsReply]:
+        dgram = yield from self.call(NfsProc.COMMIT, fh=fh, offset=offset,
+                                     count=count, trace=trace)
+        return dgram.message
+
+    def setattr_size(self, fh: FileHandle, new_size: int,
+                     trace: Optional[RequestTrace] = None
+                     ) -> Generator[Event, Any, NfsReply]:
+        """Truncate the file to ``new_size`` bytes."""
+        dgram = yield from self.call(NfsProc.SETATTR, fh=fh,
+                                     new_size=new_size, trace=trace)
+        return dgram.message
+
+    def remove(self, name: str, trace: Optional[RequestTrace] = None
+               ) -> Generator[Event, Any, NfsReply]:
+        dgram = yield from self.call(NfsProc.REMOVE, name=name, trace=trace)
+        return dgram.message
+
+
+def read_reply_data(dgram: Datagram) -> Payload:
+    """Extract the data bytes from a READ reply datagram."""
+    reply = dgram.message
+    whole = dgram.chain.payload()
+    return whole.slice(reply.header_size, whole.length - reply.header_size)

@@ -1,0 +1,5 @@
+"""ONC-RPC style framing helpers."""
+
+from .messages import RPC_CALL_HEADER, RPC_REPLY_HEADER, XidMatcher
+
+__all__ = ["RPC_CALL_HEADER", "RPC_REPLY_HEADER", "XidMatcher"]

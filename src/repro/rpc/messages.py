@@ -1,0 +1,56 @@
+"""ONC-RPC style framing: xid allocation and reply matching.
+
+NFS runs over RPC over UDP in the paper's testbed.  We model the RPC layer
+as (a) a per-message CPU cost (``rpc_ns``), (b) header bytes that ride in
+front of the NFS payload, and (c) xid-based request/reply matching, which
+this module provides for any client-side protocol.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict
+
+from ..sim.engine import Event, SimulationError, Simulator
+
+#: RPC call header bytes (credentials + verifier + program/proc).
+RPC_CALL_HEADER = 40
+#: RPC reply header bytes.
+RPC_REPLY_HEADER = 24
+
+
+class XidMatcher:
+    """Allocates xids and parks callers until the matching reply arrives."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._xids = itertools.count(1)
+        self._pending: Dict[int, Event] = {}
+
+    def new_xid(self) -> int:
+        return next(self._xids)
+
+    def expect(self, xid: int) -> Event:
+        if xid in self._pending:
+            raise SimulationError(f"duplicate xid {xid}")
+        ev = self.sim.event()
+        self._pending[xid] = ev
+        return ev
+
+    def resolve(self, xid: int, value: Any) -> None:
+        waiter = self._pending.pop(xid, None)
+        if waiter is None:
+            raise SimulationError(f"reply for unknown xid {xid}")
+        waiter.succeed(value)
+
+    def is_pending(self, xid: int) -> bool:
+        return xid in self._pending
+
+    def cancel(self, xid: int) -> None:
+        """Forget a request (it timed out); late replies are then ignored
+        by callers that check :meth:`is_pending` first."""
+        self._pending.pop(xid, None)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)

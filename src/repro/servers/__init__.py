@@ -1,0 +1,15 @@
+"""Testbed assembly: server modes and full four-machine configurations."""
+
+from .config import GB, MB, ServerMode, TestbedConfig
+from .testbed import BaseTestbed, NfsTestbed, WebTestbed, run_until_complete
+
+__all__ = [
+    "BaseTestbed",
+    "GB",
+    "MB",
+    "NfsTestbed",
+    "ServerMode",
+    "TestbedConfig",
+    "WebTestbed",
+    "run_until_complete",
+]

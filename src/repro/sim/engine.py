@@ -1,0 +1,232 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately small and deterministic: a binary heap of
+scheduled callbacks ordered by (time, sequence number), plus a
+generator-based process abstraction in :mod:`repro.sim.process`.
+
+Time is a float measured in **seconds** of simulated time.  All model
+constants elsewhere in the library are expressed in nanoseconds and
+converted through :data:`NS`.
+
+Determinism rules observed throughout the library:
+
+* ties in the event heap break by insertion order (monotonic sequence);
+* no wall-clock or global-random access anywhere in the simulation;
+  randomness comes from explicitly seeded generators (:mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+#: Multiply a nanosecond quantity by this to obtain simulated seconds.
+NS = 1e-9
+
+#: Multiply a microsecond quantity by this to obtain simulated seconds.
+US = 1e-6
+
+#: Multiply a millisecond quantity by this to obtain simulated seconds.
+MS = 1e-3
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (not for model errors)."""
+
+
+class Event:
+    """A one-shot waitable occurrence.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    triggers it exactly once, delivering ``value`` to every registered
+    callback and to every process waiting on it.  Events are multicast:
+    any number of processes may wait on the same event.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_is_error")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._is_error = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    @property
+    def failed(self) -> bool:
+        return self._triggered and self._is_error
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn`` to run when the event triggers.
+
+        If the event has already triggered the callback is scheduled to run
+        immediately (at the current simulation time) rather than invoked
+        synchronously, preserving run-to-completion semantics.
+        """
+        if self._triggered:
+            self.sim.schedule(0.0, fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self.sim.schedule(0.0, fn, self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = exc
+        self._is_error = True
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self.sim.schedule(0.0, fn, self)
+        return self
+
+
+class Simulator:
+    """The event loop.
+
+    >>> sim = Simulator()
+    >>> hits = []
+    >>> sim.schedule(1.5, hits.append, "a")
+    >>> sim.schedule(0.5, hits.append, "b")
+    >>> sim.run()
+    >>> hits
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self._running = False
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(f"scheduling into the past: {when} < {self.now}")
+        heapq.heappush(self._heap, (when, self._seq, fn, args))
+        self._seq += 1
+
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event` bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that triggers ``delay`` seconds from now."""
+        ev = Event(self)
+        self.schedule(delay, ev.succeed, value)
+        return ev
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the single next scheduled callback.
+
+        Returns ``False`` when the heap is empty.
+        """
+        if not self._heap:
+            return False
+        when, _seq, fn, args = heapq.heappop(self._heap)
+        self.now = when
+        fn(*args)
+        return True
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains, or until simulated time ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fired earlier, so utilization windows that
+        end at ``until`` are well-defined.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered")
+        self._running = True
+        try:
+            if until is None:
+                while self.step():
+                    pass
+                return
+            while self._heap and self._heap[0][0] <= until:
+                self.step()
+            self.now = max(self.now, until)
+        finally:
+            self._running = False
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or ``None`` if none pending."""
+        return self._heap[0][0] if self._heap else None
+
+    def pending(self) -> int:
+        """Number of scheduled-but-unexecuted callbacks."""
+        return len(self._heap)
+
+
+class AnyOf(Event):
+    """Event that triggers when the *first* of ``events`` triggers.
+
+    Its value is the ``(index, value)`` pair of the first event.
+    """
+
+    def __init__(self, sim: Simulator, events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._done = False
+        for i, ev in enumerate(events):
+            ev.add_callback(self._make_cb(i))
+
+    def _make_cb(self, index: int) -> Callable[[Event], None]:
+        def cb(ev: Event) -> None:
+            if not self._done:
+                self._done = True
+                self.succeed((index, ev.value))
+
+        return cb
+
+
+class AllOf(Event):
+    """Event that triggers when *all* of ``events`` have triggered.
+
+    Its value is the list of the component events' values, in order.
+    """
+
+    def __init__(self, sim: Simulator, events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._events:
+            ev.add_callback(self._one_done)
+
+    def _one_done(self, _ev: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self._events])

@@ -1,0 +1,93 @@
+"""Generator-based processes on top of the event engine.
+
+A *process* is a Python generator driven by the simulator.  The generator
+may yield:
+
+* an :class:`~repro.sim.engine.Event` — the process resumes when the event
+  triggers, and the ``yield`` expression evaluates to the event's value;
+* a ``float``/``int`` — shorthand for ``sim.timeout(delay)``;
+* another :class:`Process` — join: resume when that process returns, the
+  ``yield`` evaluates to its return value.
+
+A process is itself an :class:`Event` that triggers with the generator's
+return value, so processes compose: ``result = yield some_process``.
+
+Failures: if an awaited event fails, the exception is thrown *into* the
+generator (so model code can ``try/except`` around a ``yield``).  If the
+generator itself raises, the process event fails, and the exception
+propagates to joiners; if nobody is joined, it is re-raised at the event
+loop to avoid silently losing errors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Union
+
+from .engine import Event, SimulationError, Simulator
+
+Yieldable = Union[Event, float, int]
+
+
+class Process(Event):
+    """Drives a generator; triggers (as an Event) with its return value."""
+
+    def __init__(self, sim: Simulator, gen: Generator[Yieldable, Any, Any],
+                 name: Optional[str] = None) -> None:
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"Process needs a generator, got {type(gen).__name__}; "
+                "did you call a plain function instead of a generator function?")
+        self.name = name or getattr(gen, "__name__", "process")
+        self._gen = gen
+        self._joined = False
+        sim.schedule(0.0, self._resume, None, False)
+
+    def add_callback(self, fn) -> None:  # type: ignore[override]
+        self._joined = True
+        super().add_callback(fn)
+
+    # -- driving ---------------------------------------------------------
+
+    def _resume(self, value: Any, throw: bool) -> None:
+        try:
+            if throw:
+                target = self._gen.throw(value)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self._crash(exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Yieldable) -> None:
+        if isinstance(target, (int, float)):
+            target = self.sim.timeout(float(target))
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}; "
+                "expected Event, Process or a delay in seconds")
+            self._crash(exc)
+            return
+        target.add_callback(self._on_event)
+
+    def _on_event(self, ev: Event) -> None:
+        if ev.failed:
+            self._resume(ev.value, True)
+        else:
+            self._resume(ev.value, False)
+
+    def _crash(self, exc: BaseException) -> None:
+        self.fail(exc)
+        if not self._joined:
+            # No joiner will ever observe this failure; surface it loudly.
+            raise exc
+
+
+def start(sim: Simulator, gen: Generator[Yieldable, Any, Any],
+          name: Optional[str] = None) -> Process:
+    """Start ``gen`` as a process on ``sim`` and return its handle."""
+    return Process(sim, gen, name=name)

@@ -1,0 +1,187 @@
+"""Contended resources: generic FIFO resource, CPUs and links.
+
+All resources account *busy time* so experiments can report utilization,
+which is one of the two quantities the paper plots (the other being
+throughput).  Accounting counts resource-seconds: a 2-core CPU busy on both
+cores for 1s accumulates 2 busy-seconds; utilization over a window divides
+by ``capacity * window``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from .engine import Event, SimulationError, Simulator
+
+
+class Resource:
+    """A FIFO-served resource with ``capacity`` identical slots."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+        # busy accounting
+        self._busy_accum = 0.0
+        self._last_change = 0.0
+
+    # -- accounting ------------------------------------------------------
+
+    def _note_change(self) -> None:
+        now = self.sim.now
+        self._busy_accum += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def busy_time(self) -> float:
+        """Cumulative resource-seconds of busy time up to now."""
+        return self._busy_accum + self._in_use * (self.sim.now - self._last_change)
+
+    def utilization(self, since_busy: float, since_time: float) -> float:
+        """Utilization between a past snapshot and now.
+
+        ``since_busy``/``since_time`` are a prior ``(busy_time(), sim.now)``
+        snapshot pair.
+        """
+        window = self.sim.now - since_time
+        if window <= 0:
+            return 0.0
+        return (self.busy_time() - since_busy) / (self.capacity * window)
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    # -- acquire / release -----------------------------------------------
+
+    def acquire(self) -> Event:
+        """Request one slot; the returned event triggers when granted."""
+        ev = self.sim.event()
+        if self._in_use < self.capacity and not self._waiters:
+            self._note_change()
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot directly to the next waiter; _in_use unchanged.
+            ev = self._waiters.popleft()
+            ev.succeed(self)
+        else:
+            self._note_change()
+            self._in_use -= 1
+
+    def use(self, hold: float) -> Generator[Event, Any, None]:
+        """Process helper: acquire, hold for ``hold`` seconds, release."""
+        yield self.acquire()
+        try:
+            yield self.sim.timeout(hold)
+        finally:
+            self.release()
+
+
+class CPU(Resource):
+    """A processor with ``cores`` identical cores.
+
+    Model code charges work through :meth:`execute` (a process helper) or
+    accumulates aggregated nanosecond costs through a
+    :class:`repro.copymodel.accounting.CopyAccountant` which eventually
+    executes them here.
+    """
+
+    def __init__(self, sim: Simulator, cores: int = 1, name: str = "cpu") -> None:
+        super().__init__(sim, capacity=cores, name=name)
+
+    def execute(self, seconds: float) -> Generator[Event, Any, None]:
+        """Occupy one core for ``seconds`` of work (FIFO queueing)."""
+        if seconds < 0:
+            raise SimulationError(f"negative CPU cost {seconds!r}")
+        if seconds == 0.0:
+            return
+        yield from self.use(seconds)
+
+    def execute_ns(self, nanoseconds: float) -> Generator[Event, Any, None]:
+        yield from self.execute(nanoseconds * 1e-9)
+
+
+class Link:
+    """A unidirectional link with fixed bandwidth and propagation latency.
+
+    Transmissions serialize FIFO on the link; propagation latency is added
+    after serialization and does not occupy the link (pipelining).
+    Full-duplex paths are modelled as two independent ``Link`` objects.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float,
+                 latency_s: float = 10e-6, name: str = "link") -> None:
+        if bandwidth_bps <= 0:
+            raise SimulationError("bandwidth must be positive")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+        self.name = name
+        self._resource = Resource(sim, capacity=1, name=name)
+        self.bytes_sent = 0
+
+    def serialization_delay(self, nbytes: int) -> float:
+        return nbytes * 8.0 / self.bandwidth_bps
+
+    def busy_time(self) -> float:
+        return self._resource.busy_time()
+
+    def utilization(self, since_busy: float, since_time: float) -> float:
+        return self._resource.utilization(since_busy, since_time)
+
+    def transmit(self, nbytes: int) -> Generator[Event, Any, None]:
+        """Occupy the link while ``nbytes`` serialize, then wait latency.
+
+        Returns (as the process value) the time at which the last bit
+        arrives at the far end.
+        """
+        if nbytes < 0:
+            raise SimulationError("negative transmit size")
+        self.bytes_sent += nbytes
+        yield from self._resource.use(self.serialization_delay(nbytes))
+        if self.latency_s:
+            yield self.sim.timeout(self.latency_s)
+        return self.sim.now
+
+
+class Store:
+    """An unbounded FIFO queue connecting producer and consumer processes."""
+
+    def __init__(self, sim: Simulator, name: str = "store") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = self.sim.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,221 @@
+"""Measurement helpers: counters, throughput meters, utilization windows.
+
+Experiments follow a warmup/measure protocol: run the workload, call
+:meth:`MeterSet.reset` at the end of warmup, read meters at the end of the
+measurement window.  Everything is pull-based; nothing samples on a timer,
+so the meters add no events to the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:
+    from .engine import Simulator
+
+
+class Counter:
+    """A named monotonically increasing counter with reset snapshots."""
+
+    __slots__ = ("name", "_total", "_mark")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._total = 0.0
+        self._mark = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self._total += amount
+
+    def reset(self) -> None:
+        self._mark = self._total
+
+    @property
+    def total(self) -> float:
+        """Grand total since construction."""
+        return self._total
+
+    @property
+    def value(self) -> float:
+        """Total since the last :meth:`reset`."""
+        return self._total - self._mark
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class CounterSet:
+    """A lazily populated namespace of counters."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+
+    def __getitem__(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self[name].add(amount)
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Values since last reset, for every counter ever touched."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def totals(self) -> Dict[str, float]:
+        return {name: c.total for name, c in sorted(self._counters.items())}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+
+class ThroughputMeter:
+    """Tracks completed bytes and operations over a measurement window."""
+
+    def __init__(self, sim: "Simulator", name: str = "throughput") -> None:
+        self.sim = sim
+        self.name = name
+        self.bytes = Counter(name + ".bytes")
+        self.ops = Counter(name + ".ops")
+        self._window_start = sim.now
+
+    def record(self, nbytes: int, ops: int = 1) -> None:
+        self.bytes.add(nbytes)
+        self.ops.add(ops)
+
+    def reset(self) -> None:
+        self.bytes.reset()
+        self.ops.reset()
+        self._window_start = self.sim.now
+
+    @property
+    def window(self) -> float:
+        return self.sim.now - self._window_start
+
+    def bytes_per_second(self) -> float:
+        return self.bytes.value / self.window if self.window > 0 else 0.0
+
+    def mb_per_second(self) -> float:
+        return self.bytes_per_second() / (1024.0 * 1024.0)
+
+    def ops_per_second(self) -> float:
+        return self.ops.value / self.window if self.window > 0 else 0.0
+
+
+class UtilizationWindow:
+    """Windowed utilization of a :class:`Resource` or :class:`Link`."""
+
+    def __init__(self, resource, sim: "Simulator") -> None:
+        self.resource = resource
+        self.sim = sim
+        self.reset()
+
+    def reset(self) -> None:
+        self._busy0 = self.resource.busy_time()
+        self._time0 = self.sim.now
+
+    def utilization(self) -> float:
+        return self.resource.utilization(self._busy0, self._time0)
+
+
+class LatencyStats:
+    """Streaming latency statistics with percentile estimation.
+
+    Moments are exact and allocation-free; percentiles come from a
+    bounded reservoir (deterministic, seeded by sample count so identical
+    runs yield identical reservoirs).
+    """
+
+    RESERVOIR_SIZE = 1024
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def record(self, sample: float) -> None:
+        self.count += 1
+        self.total += sample
+        self._sumsq += sample * sample
+        if sample < self.min:
+            self.min = sample
+        if sample > self.max:
+            self.max = sample
+        if len(self._reservoir) < self.RESERVOIR_SIZE:
+            self._reservoir.append(sample)
+        else:
+            # Deterministic reservoir sampling: a multiplicative-hash
+            # "random" slot from the sample index alone.
+            slot = (self.count * 2654435761) % self.count
+            if slot < self.RESERVOIR_SIZE:
+                self._reservoir[slot] = sample
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        mean = self.mean
+        return max(0.0, self._sumsq / self.count - mean * mean)
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile (exact below RESERVOIR_SIZE samples)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction {fraction} outside [0, 1]")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self._sumsq = 0.0
+        self._reservoir: list = []
+
+
+class MeterSet:
+    """Bundle of all meters an experiment resets at the warmup boundary."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.counters = CounterSet()
+        self.throughput = ThroughputMeter(sim)
+        self.latency = LatencyStats()
+        self._utilizations: Dict[str, UtilizationWindow] = {}
+
+    def watch(self, name: str, resource) -> UtilizationWindow:
+        window = UtilizationWindow(resource, self.sim)
+        self._utilizations[name] = window
+        return window
+
+    def utilization(self, name: str) -> float:
+        return self._utilizations[name].utilization()
+
+    def reset(self) -> None:
+        self.counters.reset()
+        self.throughput.reset()
+        self.latency.reset()
+        for window in self._utilizations.values():
+            window.reset()

@@ -1,0 +1,34 @@
+"""Workload generators: micro-benchmarks, SPECsfs/SPECweb analogs, traces."""
+
+from .microbench import AllHitReadWorkload, SequentialReadWorkload
+from .specsfs import DEFAULT_SIZE_DIST, METADATA_MIX, SpecSfsWorkload
+from .specweb import (
+    SIZE_CLASSES,
+    AllHitWebWorkload,
+    SpecWebWorkload,
+    build_file_set,
+)
+from .traceplayer import (
+    TracePlayer,
+    TraceRecord,
+    hot_cold_trace,
+    mixed_trace,
+    sequential_read_trace,
+)
+
+__all__ = [
+    "AllHitReadWorkload",
+    "AllHitWebWorkload",
+    "DEFAULT_SIZE_DIST",
+    "METADATA_MIX",
+    "SIZE_CLASSES",
+    "SequentialReadWorkload",
+    "SpecSfsWorkload",
+    "SpecWebWorkload",
+    "TracePlayer",
+    "TraceRecord",
+    "build_file_set",
+    "hot_cold_trace",
+    "mixed_trace",
+    "sequential_read_trace",
+]

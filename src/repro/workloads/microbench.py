@@ -1,0 +1,132 @@
+"""Micro-benchmarks: the all-miss and all-hit workloads of §5.3/§5.4.
+
+* **all-miss** — "sequentially read a big file (2 GB)": each client runs
+  sequential read streams over its own large file; the server cache is
+  smaller than the footprint, so every request misses and goes to iSCSI.
+* **all-hit** — "repetitively access a small file (5 MB)": after one
+  warmup pass everything is served from cache.
+
+Both are closed-loop: each stream keeps one request outstanding; load
+scales with ``streams_per_client`` (the paper scales nfsd count and client
+processes the same way).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from ..nfs.client import NfsClient
+from ..nfs.protocol import FileHandle
+from ..servers.testbed import NfsTestbed
+from ..sim.engine import Event
+from ..sim.process import Process, start
+from ..sim.rng import substream
+
+GB = 1 << 30
+MB = 1 << 20
+
+
+class SequentialReadWorkload:
+    """All-miss workload: sequential streams over per-stream large files."""
+
+    def __init__(self, testbed: NfsTestbed, request_size: int,
+                 file_size: int = 2 * GB,
+                 streams_per_client: int = 4) -> None:
+        if request_size % testbed.image.block_size:
+            raise ValueError("request size must be block-aligned")
+        if file_size % request_size:
+            file_size -= file_size % request_size
+        self.testbed = testbed
+        self.request_size = request_size
+        self.file_size = file_size
+        self.streams_per_client = streams_per_client
+        self._processes: List[Process] = []
+        self._handles: List[FileHandle] = []
+        for c in range(len(testbed.clients)):
+            for s in range(streams_per_client):
+                name = f"seqread-{c}-{s}"
+                testbed.image.create_file(name, file_size)
+                self._handles.append(testbed.file_handle(name))
+
+    def start(self) -> None:
+        total = len(self._handles)
+        i = 0
+        for c, client in enumerate(self.testbed.clients):
+            for s in range(self.streams_per_client):
+                fh = self._handles[i]
+                # Stagger stream phases across the file so concurrent
+                # streams spread over the RAID stripes instead of
+                # convoying on one disk.  The extra ``+ 17 * i`` requests
+                # shift each stream by a non-multiple of the stripe round
+                # so starts land on different disks regardless of request
+                # size (file sizes are whole numbers of stripe rounds).
+                requests = self.file_size // self.request_size
+                first = ((requests * i // total + 17 * i) % requests) \
+                    * self.request_size
+                i += 1
+                self._processes.append(
+                    start(self.testbed.sim, self._stream(client, fh, first),
+                          name=f"seqread-{c}-{s}"))
+
+    def _stream(self, client: NfsClient, fh: FileHandle, offset: int = 0
+                ) -> Generator[Event, Any, None]:
+        meters = self.testbed.meters
+        while True:
+            issued_at = self.testbed.sim.now
+            dgram = yield from client.read(fh, offset, self.request_size)
+            meters.latency.record(self.testbed.sim.now - issued_at)
+            meters.throughput.record(dgram.message.count)
+            offset += self.request_size
+            if offset + self.request_size > self.file_size:
+                offset = 0
+
+
+class AllHitReadWorkload:
+    """All-hit workload: repeated reads over one small shared file."""
+
+    def __init__(self, testbed: NfsTestbed, request_size: int,
+                 file_size: int = 5 * MB,
+                 streams_per_client: int = 4,
+                 seed: int = 7) -> None:
+        if request_size % testbed.image.block_size:
+            raise ValueError("request size must be block-aligned")
+        self.testbed = testbed
+        self.request_size = request_size
+        # Round the file down to a whole number of requests.
+        self.n_slots = max(1, file_size // request_size)
+        self.file_size = self.n_slots * request_size
+        self.streams_per_client = streams_per_client
+        self.seed = seed
+        testbed.image.create_file("hotfile", self.file_size)
+        self.fh = testbed.file_handle("hotfile")
+        self._processes: List[Process] = []
+
+    def prewarm(self) -> Process:
+        """One sequential pass to populate the caches (run before
+        measurement; the paper's warmup)."""
+        return start(self.testbed.sim, self._prewarm(), name="prewarm")
+
+    def _prewarm(self) -> Generator[Event, Any, None]:
+        client = self.testbed.clients[0]
+        for slot in range(self.n_slots):
+            yield from client.read(self.fh, slot * self.request_size,
+                                   self.request_size)
+
+    def start(self) -> None:
+        for c, client in enumerate(self.testbed.clients):
+            for s in range(self.streams_per_client):
+                rng = substream(self.seed, "allhit", c, s)
+                self._processes.append(
+                    start(self.testbed.sim, self._stream(client, rng),
+                          name=f"allhit-{c}-{s}"))
+
+    def _stream(self, client: NfsClient, rng
+                ) -> Generator[Event, Any, None]:
+        meters = self.testbed.meters
+        while True:
+            slot = rng.randrange(self.n_slots)
+            issued_at = self.testbed.sim.now
+            dgram = yield from client.read(
+                self.fh, slot * self.request_size, self.request_size)
+            meters.latency.record(self.testbed.sim.now - issued_at)
+            meters.throughput.record(dgram.message.count)

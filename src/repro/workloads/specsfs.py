@@ -1,0 +1,128 @@
+"""SPECsfs-like synthetic NFS workload (§5.3, Figure 7).
+
+SPEC SFS97 itself is licensed and unavailable; this generator reproduces
+the knobs the paper actually uses:
+
+* total filesystem size 2 GB, accessed file set 10% of it;
+* read:write ratio held at the default 5:1 among regular-data ops;
+* "default size distribution for regular data requests, in which small
+  sized requests (< 16 KB) dominate";
+* a sweep over the *percentage of requests that access regular data* (as
+  opposed to metadata), which is Figure 7's x-axis.
+
+Throughput is reported in operations/second over all ops, as SPECsfs does.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Generator, List, Sequence, Tuple
+
+from ..net.buffer import VirtualPayload
+from ..nfs.client import NfsClient
+from ..nfs.protocol import FileHandle, NfsProc
+from ..servers.testbed import NfsTestbed
+from ..sim.engine import Event
+from ..sim.process import Process, start
+from ..sim.rng import substream
+
+GB = 1 << 30
+
+#: Request-size distribution: small (<16 KB) requests dominate.
+DEFAULT_SIZE_DIST: Sequence[Tuple[int, float]] = (
+    (4096, 0.45), (8192, 0.25), (16384, 0.18), (32768, 0.12))
+
+#: Metadata op mix (relative weights within the metadata fraction).
+METADATA_MIX: Sequence[Tuple[NfsProc, float]] = (
+    (NfsProc.GETATTR, 0.45), (NfsProc.LOOKUP, 0.35),
+    (NfsProc.ACCESS, 0.15), (NfsProc.READDIR, 0.05))
+
+
+def _weighted_choice(rng: random.Random,
+                     items: Sequence[Tuple[Any, float]]) -> Any:
+    u = rng.random() * sum(w for _, w in items)
+    acc = 0.0
+    for value, weight in items:
+        acc += weight
+        if u <= acc:
+            return value
+    return items[-1][0]
+
+
+class SpecSfsWorkload:
+    """Closed-loop op-mix generator over a pre-created file set."""
+
+    def __init__(self, testbed: NfsTestbed,
+                 pct_regular: float = 0.75,
+                 read_write_ratio: float = 5.0,
+                 fs_size_bytes: int = 2 * GB,
+                 active_fraction: float = 0.10,
+                 file_size: int = 256 * 1024,
+                 size_dist: Sequence[Tuple[int, float]] = DEFAULT_SIZE_DIST,
+                 outstanding_per_client: int = 8,
+                 seed: int = 11) -> None:
+        if not 0.0 <= pct_regular <= 1.0:
+            raise ValueError("pct_regular must be in [0, 1]")
+        self.testbed = testbed
+        self.pct_regular = pct_regular
+        self.read_write_ratio = read_write_ratio
+        self.size_dist = tuple(size_dist)
+        self.outstanding_per_client = outstanding_per_client
+        self.seed = seed
+        active_bytes = int(fs_size_bytes * active_fraction)
+        self.n_files = max(1, active_bytes // file_size)
+        self.file_size = file_size
+        self.handles: List[FileHandle] = []
+        self.names: List[str] = []
+        for i in range(self.n_files):
+            name = f"sfs/{i:06d}"
+            testbed.image.create_file(name, file_size)
+            self.handles.append(testbed.file_handle(name))
+            self.names.append(name)
+        self._write_tag = 0x5F5 << 32
+        self._processes: List[Process] = []
+
+    def start(self) -> None:
+        for c, client in enumerate(self.testbed.clients):
+            for s in range(self.outstanding_per_client):
+                rng = substream(self.seed, "sfs", c, s)
+                self._processes.append(
+                    start(self.testbed.sim, self._worker(client, rng),
+                          name=f"sfs-{c}-{s}"))
+
+    # -- op generation -------------------------------------------------------
+
+    def _pick_extent(self, rng: random.Random) -> Tuple[int, int]:
+        size = _weighted_choice(rng, self.size_dist)
+        size = min(size, self.file_size)
+        slots = self.file_size // size
+        return rng.randrange(slots) * size, size
+
+    def _worker(self, client: NfsClient, rng: random.Random
+                ) -> Generator[Event, Any, None]:
+        meters = self.testbed.meters
+        read_fraction = self.read_write_ratio / (self.read_write_ratio + 1.0)
+        while True:
+            fidx = rng.randrange(self.n_files)
+            fh = self.handles[fidx]
+            issued_at = self.testbed.sim.now
+            if rng.random() < self.pct_regular:
+                offset, size = self._pick_extent(rng)
+                if rng.random() < read_fraction:
+                    dgram = yield from client.read(fh, offset, size)
+                    meters.throughput.record(dgram.message.count)
+                else:
+                    self._write_tag += 1
+                    data = VirtualPayload(self._write_tag, 0, size)
+                    dgram = yield from client.write(fh, offset, data)
+                    meters.throughput.record(dgram.message.count)
+            else:
+                proc = _weighted_choice(rng, METADATA_MIX)
+                if proc is NfsProc.LOOKUP:
+                    yield from client.lookup(self.names[fidx])
+                elif proc is NfsProc.READDIR:
+                    yield from client.call(proc, name=self.names[fidx])
+                else:
+                    yield from client.call(proc, fh=fh)
+                meters.throughput.record(0)
+            meters.latency.record(self.testbed.sim.now - issued_at)

@@ -1,0 +1,176 @@
+"""NFS trace player — the Active Trace Player analog ([20], §5.3).
+
+The paper drives its micro-benchmarks "by means of synthetic traces and an
+Active Trace Player".  This module provides (a) a trace record format,
+(b) a player that replays a trace against a testbed either closed-loop
+(as fast as the server allows, with bounded concurrency) or timed (honour
+record timestamps), and (c) synthetic trace generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional
+
+from ..net.buffer import VirtualPayload
+from ..nfs.client import NfsClient
+from ..nfs.protocol import FileHandle
+from ..servers.testbed import NfsTestbed
+from ..sim.engine import Event
+from ..sim.process import Process, start
+from ..sim.resources import Store
+from ..sim.rng import substream
+
+
+@dataclass
+class TraceRecord:
+    """One operation in a trace."""
+
+    op: str  # "read" | "write" | "getattr" | "lookup"
+    path: str
+    offset: int = 0
+    count: int = 0
+    timestamp: Optional[float] = None  # seconds from trace start
+
+    def __post_init__(self) -> None:
+        if self.op not in ("read", "write", "getattr", "lookup"):
+            raise ValueError(f"unknown trace op {self.op!r}")
+
+
+class TracePlayer:
+    """Replays a trace against an NFS testbed."""
+
+    def __init__(self, testbed: NfsTestbed, trace: List[TraceRecord],
+                 concurrency: int = 8, timed: bool = False) -> None:
+        self.testbed = testbed
+        self.trace = trace
+        self.concurrency = concurrency
+        self.timed = timed
+        self.completed = 0
+        self.done = testbed.sim.event()
+        self._remaining = len(trace)
+        self._handles = {}
+        self._ensure_files()
+        self._queue: Store = Store(testbed.sim, name="trace-queue")
+        self._write_tag = 0x7AC3 << 32
+
+    def _ensure_files(self) -> None:
+        """Create every file the trace touches, sized to its max extent."""
+        extents = {}
+        for rec in self.trace:
+            end = rec.offset + rec.count
+            extents[rec.path] = max(extents.get(rec.path, 0), end, 4096)
+        for path, size in extents.items():
+            try:
+                self.testbed.image.create_file(path, size)
+            except ValueError:
+                pass  # pre-existing file
+            self._handles[path] = self.testbed.file_handle(path)
+
+    # -- replay ----------------------------------------------------------------
+
+    def start(self) -> "Process":
+        """Start replay; returns a process that completes when done."""
+        if self.timed:
+            driver = start(self.testbed.sim, self._timed_driver(),
+                           name="trace-timed")
+        else:
+            for rec in self.trace:
+                self._queue.put(rec)
+            for i in range(self.concurrency):
+                client = self.testbed.clients[i % len(self.testbed.clients)]
+                start(self.testbed.sim, self._worker(client),
+                      name=f"trace-worker-{i}")
+            driver = start(self.testbed.sim, self._wait_done(),
+                           name="trace-wait")
+        return driver
+
+    def _wait_done(self) -> Generator[Event, Any, None]:
+        yield self.done
+
+    def _timed_driver(self) -> Generator[Event, Any, None]:
+        t0 = self.testbed.sim.now
+        client = self.testbed.clients[0]
+        for rec in self.trace:
+            if rec.timestamp is not None:
+                delay = t0 + rec.timestamp - self.testbed.sim.now
+                if delay > 0:
+                    yield self.testbed.sim.timeout(delay)
+            start(self.testbed.sim, self._play_one(client, rec),
+                  name="trace-op")
+        yield self.done
+
+    def _worker(self, client: NfsClient) -> Generator[Event, Any, None]:
+        while len(self._queue) > 0:
+            rec = yield self._queue.get()
+            yield from self._play_one(client, rec)
+
+    def _play_one(self, client: NfsClient, rec: TraceRecord
+                  ) -> Generator[Event, Any, None]:
+        fh: FileHandle = self._handles[rec.path]
+        meters = self.testbed.meters
+        if rec.op == "read":
+            dgram = yield from client.read(fh, rec.offset, rec.count)
+            meters.throughput.record(dgram.message.count)
+        elif rec.op == "write":
+            self._write_tag += 1
+            data = VirtualPayload(self._write_tag, 0, rec.count)
+            yield from client.write(fh, rec.offset, data)
+            meters.throughput.record(rec.count)
+        elif rec.op == "getattr":
+            yield from client.getattr(fh)
+            meters.throughput.record(0)
+        else:
+            yield from client.lookup(rec.path)
+            meters.throughput.record(0)
+        self.completed += 1
+        self._remaining -= 1
+        if self._remaining == 0 and not self.done.triggered:
+            self.done.succeed(self.completed)
+
+
+# -- synthetic trace generators ------------------------------------------------
+
+
+def sequential_read_trace(path: str, file_size: int, request_size: int
+                          ) -> List[TraceRecord]:
+    """The all-miss micro-benchmark as a trace."""
+    return [TraceRecord("read", path, offset, request_size)
+            for offset in range(0, file_size - request_size + 1,
+                                request_size)]
+
+
+def hot_cold_trace(n_ops: int, hot_paths: List[str], cold_paths: List[str],
+                   hot_fraction: float, request_size: int,
+                   file_size: int, seed: int = 3) -> List[TraceRecord]:
+    """Random-access trace with a hot set absorbing ``hot_fraction``."""
+    rng = substream(seed, "hotcold")
+    slots = max(1, file_size // request_size)
+    records = []
+    for _ in range(n_ops):
+        paths = hot_paths if rng.random() < hot_fraction else cold_paths
+        path = paths[rng.randrange(len(paths))]
+        offset = rng.randrange(slots) * request_size
+        records.append(TraceRecord("read", path, offset, request_size))
+    return records
+
+
+def mixed_trace(n_ops: int, paths: List[str], read_fraction: float,
+                request_size: int, file_size: int,
+                metadata_fraction: float = 0.2,
+                seed: int = 5) -> List[TraceRecord]:
+    """Read/write/metadata mix over a file set."""
+    rng = substream(seed, "mixed")
+    slots = max(1, file_size // request_size)
+    records = []
+    for _ in range(n_ops):
+        path = paths[rng.randrange(len(paths))]
+        u = rng.random()
+        if u < metadata_fraction:
+            op = "getattr" if rng.random() < 0.7 else "lookup"
+            records.append(TraceRecord(op, path))
+        else:
+            offset = rng.randrange(slots) * request_size
+            op = "read" if rng.random() < read_fraction else "write"
+            records.append(TraceRecord(op, path, offset, request_size))
+    return records

@@ -1,0 +1,90 @@
+"""Shared fixtures: simulators, hosts, and miniature testbeds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.copymodel import CopyDiscipline
+from repro.fs import (
+    BufferCache,
+    DiskStore,
+    FsImage,
+    LocalBlockDevice,
+    VFS,
+    make_paper_raid,
+)
+from repro.iscsi import IscsiInitiator, IscsiTarget
+from repro.net import Endpoint, Host, Network
+from repro.servers import ServerMode, TestbedConfig
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def network(sim) -> Network:
+    return Network(sim)
+
+
+@pytest.fixture
+def two_hosts(sim, network):
+    a = Host(sim, "a")
+    b = Host(sim, "b")
+    a.add_nic(network, "a0")
+    b.add_nic(network, "b0")
+    return a, b
+
+
+class MiniStack:
+    """A server + storage pair with VFS, without NFS/HTTP on top."""
+
+    def __init__(self, sim: Simulator, discipline: CopyDiscipline,
+                 cache_bytes: int = 8 << 20,
+                 image_blocks: int = 1 << 18) -> None:
+        self.sim = sim
+        self.network = Network(sim)
+        self.server = Host(sim, "server")
+        self.storage = Host(sim, "storage")
+        self.server.add_nic(self.network, "server-0")
+        self.storage.add_nic(self.network, "storage-0")
+        self.image = FsImage(capacity_blocks=image_blocks)
+        self.store = DiskStore(self.image)
+        self.raid = make_paper_raid(sim)
+        self.target = IscsiTarget(self.storage,
+                                  LocalBlockDevice(self.store, self.raid))
+        self.initiator = IscsiInitiator(
+            self.server, "server-0", Endpoint("storage-0", 3260),
+            discipline=discipline)
+        self.cache = BufferCache(cache_bytes,
+                                 counters=self.server.counters)
+        self.vfs = VFS(self.server, self.image, self.cache, self.initiator,
+                       discipline)
+
+
+@pytest.fixture
+def mini_stack(sim):
+    return MiniStack(sim, CopyDiscipline.PHYSICAL)
+
+
+def drive(sim: Simulator, gen, name: str = "test"):
+    """Run a generator as a process to completion; return its value."""
+    from repro.sim.process import start
+
+    proc = start(sim, gen, name=name)
+    while not proc.triggered:
+        if not sim.step():
+            raise AssertionError("simulation drained before completion")
+    if proc.failed:
+        raise proc.value
+    return proc.value
+
+
+@pytest.fixture
+def quick_config():
+    def make(mode: ServerMode, **overrides) -> TestbedConfig:
+        return TestbedConfig(mode=mode, **overrides)
+
+    return make

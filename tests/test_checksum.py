@@ -1,0 +1,51 @@
+"""RFC 1071 internet checksum properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.buffer import internet_checksum
+
+
+def reference_checksum(data: bytes) -> int:
+    """Straightforward per-word reference implementation."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+class TestChecksum:
+    def test_empty(self):
+        assert internet_checksum(b"") == 0xFFFF
+
+    def test_known_vector(self):
+        # Classic RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == (~0xDDF2) & 0xFFFF
+
+    def test_odd_length_pads_with_zero(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    @given(data=st.binary(max_size=512))
+    @settings(max_examples=100)
+    def test_matches_reference(self, data):
+        assert internet_checksum(data) == reference_checksum(data)
+
+    @given(data=st.binary(min_size=2, max_size=256))
+    @settings(max_examples=50)
+    def test_verification_property(self, data):
+        """Inserting the complement of the sum verifies to zero-sum."""
+        if len(data) % 2:
+            data += b"\x00"
+        checksum = internet_checksum(data)
+        combined = data + bytes([checksum >> 8, checksum & 0xFF])
+        # Sum over the combined buffer is all-ones => checksum 0.
+        assert internet_checksum(combined) == 0
+
+    @given(data=st.binary(max_size=128))
+    @settings(max_examples=30)
+    def test_result_in_range(self, data):
+        assert 0 <= internet_checksum(data) <= 0xFFFF

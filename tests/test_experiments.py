@@ -1,0 +1,144 @@
+"""Experiment harness: Table 1/2 exactness and single-point figure shapes.
+
+Full figure sweeps run in benchmarks/; here we verify the machinery and
+the paper's qualitative orderings on single, cheap points.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentResult, pct_gain, ratio
+from repro.experiments import figure5, figure6, table1, table2
+from repro.experiments.common import warm_caches
+from repro.servers import MB, ServerMode, TestbedConfig, WebTestbed
+from repro.workloads import SpecWebWorkload
+
+
+class TestAnalysis:
+    def test_result_filtering(self):
+        result = ExperimentResult("x", "t", ["a", "b"])
+        result.add_row(a=1, b="one")
+        result.add_row(a=2, b="two")
+        assert result.value("b", a=2) == "two"
+        assert result.column("a") == [1, 2]
+        with pytest.raises(KeyError):
+            result.value("b", a=3)
+
+    def test_render_contains_rows_and_notes(self):
+        result = ExperimentResult("x", "Title", ["col"])
+        result.add_row(col=3.14159)
+        result.add_note("a note")
+        text = result.render()
+        assert "Title" in text and "3.14" in text and "a note" in text
+
+    def test_ratio_helpers(self):
+        assert ratio(150, 100) == 1.5
+        assert pct_gain(150, 100) == pytest.approx(50.0)
+        assert ratio(1, 0) == float("inf")
+
+
+class TestTable1:
+    def test_substrate_is_ncache_free(self):
+        report = table1.audit()
+        for component, info in report.items():
+            if component == "NCache module (standalone)":
+                continue
+            assert info["imports_ncache"] == [], component
+
+    def test_rendered_table(self):
+        result = table1.run()
+        assert len(result.rows) == 5
+
+
+class TestTable2:
+    def test_original_matches_paper_exactly(self):
+        nfs = table2.nfs_copy_counts(ServerMode.ORIGINAL)
+        assert nfs == {"read_hit": 2, "read_miss": 3,
+                       "write_overwritten": 1, "write_flushed": 2}
+        web = table2.web_copy_counts(ServerMode.ORIGINAL)
+        assert web == {"read_hit": 1, "read_miss": 2}
+
+    def test_ncache_is_zero_copy(self):
+        nfs = table2.nfs_copy_counts(ServerMode.NCACHE)
+        assert set(nfs.values()) == {0}
+        web = table2.web_copy_counts(ServerMode.NCACHE)
+        assert set(web.values()) == {0}
+
+    def test_baseline_is_zero_copy(self):
+        nfs = table2.nfs_copy_counts(ServerMode.BASELINE)
+        assert set(nfs.values()) == {0}
+
+
+class TestFigureShapes:
+    """Single-point checks of the paper's qualitative results."""
+
+    @pytest.fixture(scope="class")
+    def allhit_32k(self):
+        return {mode: figure5.measure_point(mode, 32768, n_nics=2,
+                                            quick=True)
+                for mode in (ServerMode.ORIGINAL, ServerMode.BASELINE,
+                             ServerMode.NCACHE)}
+
+    def test_allhit_ordering(self, allhit_32k):
+        orig = allhit_32k[ServerMode.ORIGINAL]["throughput_mbps"]
+        ncache = allhit_32k[ServerMode.NCACHE]["throughput_mbps"]
+        base = allhit_32k[ServerMode.BASELINE]["throughput_mbps"]
+        assert orig < ncache < base
+
+    def test_allhit_ncache_gain_near_paper(self, allhit_32k):
+        orig = allhit_32k[ServerMode.ORIGINAL]["throughput_mbps"]
+        ncache = allhit_32k[ServerMode.NCACHE]["throughput_mbps"]
+        gain = pct_gain(ncache, orig)
+        assert 60 <= gain <= 120  # paper: +92%
+
+    def test_allhit_baseline_gain_near_paper(self, allhit_32k):
+        orig = allhit_32k[ServerMode.ORIGINAL]["throughput_mbps"]
+        base = allhit_32k[ServerMode.BASELINE]["throughput_mbps"]
+        gain = pct_gain(base, orig)
+        assert 100 <= gain <= 175  # paper: up to +143%
+
+    def test_original_cpu_saturated(self, allhit_32k):
+        assert allhit_32k[ServerMode.ORIGINAL]["server_cpu_pct"] > 95
+
+    def test_web_allhit_improvement_grows_with_size(self):
+        small = {m: figure6.measure_allhit(m, 16384)["throughput_mbps"]
+                 for m in (ServerMode.ORIGINAL, ServerMode.NCACHE)}
+        large = {m: figure6.measure_allhit(m, 131072)["throughput_mbps"]
+                 for m in (ServerMode.ORIGINAL, ServerMode.NCACHE)}
+        gain_small = pct_gain(small[ServerMode.NCACHE],
+                              small[ServerMode.ORIGINAL])
+        gain_large = pct_gain(large[ServerMode.NCACHE],
+                              large[ServerMode.ORIGINAL])
+        assert gain_large > gain_small
+        assert gain_small > 0
+
+
+class TestWarmStart:
+    def test_warm_caches_respects_capacity_original(self):
+        cfg = TestbedConfig(mode=ServerMode.ORIGINAL,
+                            server_ram_bytes=160 * MB,
+                            server_kernel_carveout=32 * MB)
+        testbed = WebTestbed(cfg, connections_per_client=1)
+        testbed.setup()
+        workload = SpecWebWorkload(testbed, working_set_bytes=256 * MB)
+        warm_caches(testbed, workload.paths)
+        assert testbed.cache.used_bytes <= testbed.cache.capacity_bytes
+        assert len(testbed.cache) == testbed.cache.capacity_blocks
+
+    def test_warm_caches_hottest_resident_ncache(self):
+        cfg = TestbedConfig(mode=ServerMode.NCACHE,
+                            server_ram_bytes=160 * MB,
+                            server_kernel_carveout=32 * MB,
+                            ncache_fs_cache_bytes=16 * MB)
+        testbed = WebTestbed(cfg, connections_per_client=1)
+        testbed.setup()
+        workload = SpecWebWorkload(testbed, working_set_bytes=256 * MB)
+        warm_caches(testbed, workload.paths)
+        store = testbed.ncache.store
+        assert store.used_bytes <= store.capacity_bytes
+        assert store.n_chunks > 0
+        # The hottest file's first block must be resident.
+        from repro.core.keys import LbnKey
+
+        hottest = testbed.image.lookup(workload.paths[0])
+        assert store.lookup_lbn(LbnKey(0, hottest.start_lbn),
+                                touch=False) is not None

@@ -1,0 +1,174 @@
+"""Payload abstraction: byte equivalence of all representations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.buffer import (
+    BytesPayload,
+    CompositePayload,
+    JunkPayload,
+    PlaceholderPayload,
+    VirtualPayload,
+    apply_discipline,
+    concat,
+    pattern_bytes,
+)
+from repro.copymodel import CopyDiscipline
+
+
+class TestPatternBytes:
+    def test_deterministic(self):
+        assert pattern_bytes(7, 100, 64) == pattern_bytes(7, 100, 64)
+
+    def test_tag_changes_content(self):
+        assert pattern_bytes(1, 0, 64) != pattern_bytes(2, 0, 64)
+
+    def test_offset_consistency(self):
+        whole = pattern_bytes(5, 0, 256)
+        assert pattern_bytes(5, 100, 56) == whole[100:156]
+
+    def test_empty(self):
+        assert pattern_bytes(1, 0, 0) == b""
+
+    @given(tag=st.integers(0, 2**63), offset=st.integers(0, 10_000),
+           length=st.integers(0, 512))
+    @settings(max_examples=50)
+    def test_length_always_exact(self, tag, offset, length):
+        assert len(pattern_bytes(tag, offset, length)) == length
+
+    @given(offset=st.integers(0, 1000), cut=st.integers(0, 100),
+           length=st.integers(0, 100))
+    @settings(max_examples=50)
+    def test_slicing_commutes_with_materialization(self, offset, cut, length):
+        whole = pattern_bytes(3, offset, cut + length)
+        assert pattern_bytes(3, offset + cut, length) == whole[cut:]
+
+
+class TestBytesPayload:
+    def test_roundtrip(self):
+        p = BytesPayload(b"hello world")
+        assert p.materialize() == b"hello world"
+        assert p.length == 11
+
+    def test_slice(self):
+        p = BytesPayload(b"hello world")
+        assert p.slice(6, 5).materialize() == b"world"
+
+    def test_slice_bounds_checked(self):
+        p = BytesPayload(b"abc")
+        with pytest.raises(ValueError):
+            p.slice(2, 5)
+        with pytest.raises(ValueError):
+            p.slice(-1, 1)
+
+    def test_physical_copy_equal_but_distinct(self):
+        p = BytesPayload(b"data")
+        q = p.physical_copy()
+        assert q is not p
+        assert q.same_bytes(p)
+
+
+class TestVirtualPayload:
+    def test_materialize_matches_pattern(self):
+        p = VirtualPayload(9, 50, 100)
+        assert p.materialize() == pattern_bytes(9, 50, 100)
+
+    def test_slice_preserves_absolute_offsets(self):
+        p = VirtualPayload(9, 0, 1000)
+        assert p.slice(200, 100).materialize() == p.materialize()[200:300]
+
+    def test_nested_slices(self):
+        p = VirtualPayload(4, 0, 1000).slice(100, 800).slice(50, 200)
+        assert p.materialize() == pattern_bytes(4, 150, 200)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualPayload(1, 0, -5)
+
+    def test_checksum_cached_and_stable(self):
+        p = VirtualPayload(2, 0, 4096)
+        assert p.checksum16() == p.checksum16()
+        q = VirtualPayload(2, 0, 4096)
+        assert p.checksum16() == q.checksum16()
+
+
+class TestComposite:
+    def test_concatenation_bytes(self):
+        p = concat([BytesPayload(b"ab"), VirtualPayload(1, 0, 4),
+                    BytesPayload(b"yz")])
+        expected = b"ab" + pattern_bytes(1, 0, 4) + b"yz"
+        assert p.materialize() == expected
+
+    def test_concat_collapses_single(self):
+        single = BytesPayload(b"x")
+        assert concat([single]) is single
+
+    def test_concat_drops_empty(self):
+        p = concat([BytesPayload(b""), BytesPayload(b"a"), BytesPayload(b"")])
+        assert isinstance(p, BytesPayload)
+
+    def test_nested_composites_flatten(self):
+        inner = concat([BytesPayload(b"ab"), BytesPayload(b"cd")])
+        outer = CompositePayload([inner, BytesPayload(b"ef")])
+        assert len(outer.parts) == 3
+        assert outer.materialize() == b"abcdef"
+
+    def test_slice_across_parts(self):
+        p = CompositePayload([BytesPayload(b"abcd"), BytesPayload(b"efgh"),
+                              BytesPayload(b"ijkl")])
+        assert p.slice(2, 8).materialize() == b"cdefghij"
+
+    def test_slice_single_part_collapses(self):
+        p = CompositePayload([BytesPayload(b"abcd"), BytesPayload(b"efgh")])
+        sliced = p.slice(4, 4)
+        assert isinstance(sliced, BytesPayload)
+
+    @given(parts=st.lists(st.binary(min_size=0, max_size=20), min_size=1,
+                          max_size=8),
+           data=st.data())
+    @settings(max_examples=60)
+    def test_slice_equals_bytes_slice(self, parts, data):
+        p = CompositePayload([BytesPayload(b) for b in parts])
+        whole = p.materialize()
+        if p.length == 0:
+            return
+        offset = data.draw(st.integers(0, p.length))
+        length = data.draw(st.integers(0, p.length - offset))
+        assert p.slice(offset, length).materialize() == \
+            whole[offset:offset + length]
+
+
+class TestJunkAndPlaceholder:
+    def test_junk_is_constant_content(self):
+        assert JunkPayload(4).materialize() == b"\xAA" * 4
+
+    def test_junk_slice_is_junk(self):
+        assert isinstance(JunkPayload(10).slice(2, 4), JunkPayload)
+
+    def test_placeholder_is_junk_subclass(self):
+        assert issubclass(PlaceholderPayload, JunkPayload)
+
+    def test_junk_is_not_placeholder(self):
+        assert not isinstance(JunkPayload(4), PlaceholderPayload)
+
+
+class TestApplyDiscipline:
+    def test_physical_copies(self):
+        p = BytesPayload(b"abc")
+        q = apply_discipline(p, CopyDiscipline.PHYSICAL)
+        assert q is not p and q.same_bytes(p)
+
+    def test_logical_shares(self):
+        p = BytesPayload(b"abc")
+        assert apply_discipline(p, CopyDiscipline.LOGICAL) is p
+
+    def test_zero_returns_junk(self):
+        p = BytesPayload(b"abc")
+        q = apply_discipline(p, CopyDiscipline.ZERO)
+        assert isinstance(q, JunkPayload)
+        assert q.length == 3
+
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(ValueError):
+            apply_discipline(BytesPayload(b"x"), "weird")

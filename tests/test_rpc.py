@@ -1,0 +1,53 @@
+"""RPC framing: xid allocation, matching, cancellation."""
+
+import pytest
+
+from repro.rpc import RPC_CALL_HEADER, RPC_REPLY_HEADER, XidMatcher
+from repro.sim import SimulationError
+
+
+class TestXidMatcher:
+    def test_xids_unique_and_increasing(self, sim):
+        matcher = XidMatcher(sim)
+        xids = [matcher.new_xid() for _ in range(10)]
+        assert len(set(xids)) == 10
+        assert xids == sorted(xids)
+
+    def test_expect_resolve_roundtrip(self, sim):
+        matcher = XidMatcher(sim)
+        ev = matcher.expect(5)
+        matcher.resolve(5, "value")
+        assert ev.triggered and ev.value == "value"
+        assert matcher.outstanding == 0
+
+    def test_duplicate_expect_rejected(self, sim):
+        matcher = XidMatcher(sim)
+        matcher.expect(5)
+        with pytest.raises(SimulationError):
+            matcher.expect(5)
+
+    def test_resolve_unknown_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            XidMatcher(sim).resolve(9, None)
+
+    def test_is_pending(self, sim):
+        matcher = XidMatcher(sim)
+        assert not matcher.is_pending(1)
+        matcher.expect(1)
+        assert matcher.is_pending(1)
+        matcher.resolve(1, None)
+        assert not matcher.is_pending(1)
+
+    def test_cancel_forgets_request(self, sim):
+        matcher = XidMatcher(sim)
+        matcher.expect(3)
+        matcher.cancel(3)
+        assert not matcher.is_pending(3)
+        with pytest.raises(SimulationError):
+            matcher.resolve(3, None)  # late reply after cancel
+
+    def test_cancel_missing_is_noop(self, sim):
+        XidMatcher(sim).cancel(42)
+
+    def test_header_sizes(self):
+        assert RPC_CALL_HEADER > RPC_REPLY_HEADER > 0

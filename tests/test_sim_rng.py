@@ -1,0 +1,85 @@
+"""Deterministic RNG substreams and Zipf sampling."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import ZipfSampler, substream, zipf_weights
+
+
+class TestSubstream:
+    def test_same_labels_same_stream(self):
+        a = substream(1, "x", 2)
+        b = substream(1, "x", 2)
+        assert [a.random() for _ in range(5)] == \
+            [b.random() for _ in range(5)]
+
+    def test_different_labels_different_streams(self):
+        a = substream(1, "x")
+        b = substream(1, "y")
+        assert [a.random() for _ in range(5)] != \
+            [b.random() for _ in range(5)]
+
+    def test_different_seeds_different_streams(self):
+        assert substream(1, "x").random() != substream(2, "x").random()
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert sum(zipf_weights(100, 1.0)) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, 0.8)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_alpha_zero_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert all(w == pytest.approx(0.1) for w in weights)
+
+    def test_classic_ratios(self):
+        weights = zipf_weights(4, 1.0)
+        assert weights[0] / weights[1] == pytest.approx(2.0)
+        assert weights[0] / weights[3] == pytest.approx(4.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)
+
+
+class TestZipfSampler:
+    def test_deterministic_for_seeded_rng(self):
+        a = ZipfSampler(100, 1.0, substream(3, "z"))
+        b = ZipfSampler(100, 1.0, substream(3, "z"))
+        assert [a.sample() for _ in range(20)] == \
+            [b.sample() for _ in range(20)]
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(10, 1.0, substream(4, "z"))
+        for _ in range(200):
+            assert 0 <= sampler.sample() < 10
+
+    def test_rank0_most_popular(self):
+        sampler = ZipfSampler(50, 1.0, substream(5, "z"))
+        counts = [0] * 50
+        for _ in range(5000):
+            counts[sampler.sample()] += 1
+        assert counts[0] == max(counts)
+        # Top rank should get roughly w0 = 1/H(50) of the mass.
+        expected = 5000 / sum(1.0 / r for r in range(1, 51))
+        assert counts[0] == pytest.approx(expected, rel=0.2)
+
+    @given(alpha=st.floats(0.0, 2.0), n=st.integers(1, 200))
+    @settings(max_examples=30)
+    def test_any_shape_samples_valid(self, alpha, n):
+        sampler = ZipfSampler(n, alpha, substream(6, "z", n))
+        for _ in range(20):
+            assert 0 <= sampler.sample() < n
+
+    def test_iterator_protocol(self):
+        sampler = ZipfSampler(5, 1.0, substream(7, "z"))
+        it = iter(sampler)
+        assert 0 <= next(it) < 5

@@ -1,0 +1,128 @@
+"""Property tests across the transport + substitution pipeline."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.copymodel import CopyDiscipline
+from repro.fs import BLOCK_SIZE
+from repro.net import Endpoint, Host, Network, VirtualPayload
+from repro.net.buffer import BytesPayload, concat
+from repro.nfs import read_reply_data
+from repro.servers import NfsTestbed, ServerMode, TestbedConfig
+from repro.servers.testbed import run_until_complete
+from repro.sim import Simulator, start
+from repro.sim.process import Process
+
+
+class TestUdpFragmentationProperty:
+    @given(header_len=st.integers(0, 300),
+           data_len=st.integers(0, 40_000),
+           tag=st.integers(1, 1000))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_any_message_survives_fragmentation(self, header_len,
+                                                data_len, tag):
+        sim = Simulator()
+        network = Network(sim)
+        a = Host(sim, "a")
+        b = Host(sim, "b")
+        a.add_nic(network, "a0")
+        b.add_nic(network, "b0")
+        got = []
+
+        def handler(dgram):
+            got.append(dgram)
+            return
+            yield
+
+        b.stack.udp_bind(9, handler)
+        header = BytesPayload(bytes((i * 7) % 256
+                                    for i in range(header_len)))
+        data = VirtualPayload(tag, 0, data_len)
+
+        def send():
+            yield from a.stack.udp_send("a0", 5, Endpoint("b0", 9), None,
+                                        data, header=header)
+
+        proc = start(sim, send())
+        sim.run()
+        assert proc.triggered and not proc.failed
+        whole = got[0].chain.payload().materialize()
+        assert whole == header.materialize() + data.materialize()
+        # Fragment sizing invariant: nothing exceeds the fragment payload.
+        frag = a.costs.udp_fragment_payload
+        assert all(buf.payload_bytes <= frag for buf in got[0].chain)
+
+
+class TestTcpSegmentationProperty:
+    @given(data_len=st.integers(1, 60_000), tag=st.integers(1, 1000))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_any_message_survives_segmentation(self, data_len, tag):
+        sim = Simulator()
+        network = Network(sim)
+        a = Host(sim, "a")
+        b = Host(sim, "b")
+        a.add_nic(network, "a0")
+        b.add_nic(network, "b0")
+        got = []
+
+        def on_message(conn, dgram):
+            got.append(dgram)
+            return
+            yield
+
+        def acceptor(conn):
+            conn.on_message = on_message
+
+        b.stack.tcp_listen(80, acceptor)
+
+        def run():
+            conn = yield from a.stack.tcp_connect("a0", 1000,
+                                                  Endpoint("b0", 80))
+            yield from conn.send(None, VirtualPayload(tag, 0, data_len))
+
+        start(sim, run())
+        sim.run()
+        assert got[0].chain.payload().materialize() == \
+            VirtualPayload(tag, 0, data_len).materialize()
+
+
+class TestSubstitutionProperty:
+    """Arbitrary (offset, length) NFS reads through a warm NCache server
+    must return exactly the file's bytes after substitution."""
+
+    @pytest.fixture(scope="class")
+    def warm_testbed(self):
+        cfg = TestbedConfig(mode=ServerMode.NCACHE, ncache_strict=True)
+        testbed = NfsTestbed(cfg, flush_interval_s=None)
+        testbed.image.create_file("prop.bin", 64 * BLOCK_SIZE)
+        testbed.setup()
+        fh = testbed.file_handle("prop.bin")
+
+        def warm():
+            yield from testbed.clients[0].read(fh, 0, 32 * BLOCK_SIZE)
+            yield from testbed.clients[0].read(fh, 32 * BLOCK_SIZE,
+                                               32 * BLOCK_SIZE)
+
+        run_until_complete(testbed.sim, start(testbed.sim, warm()))
+        return testbed, fh
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_arbitrary_ranges_byte_exact(self, warm_testbed, data):
+        testbed, fh = warm_testbed
+        inode = testbed.image.lookup("prop.bin")
+        offset = data.draw(st.integers(0, inode.size - 1))
+        length = data.draw(st.integers(1, min(40_000, inode.size - offset)))
+
+        def scenario():
+            return (yield from testbed.clients[0].read(fh, offset, length))
+
+        proc = start(testbed.sim, scenario())
+        run_until_complete(testbed.sim, proc)
+        dgram = proc.value
+        assert read_reply_data(dgram).materialize() == \
+            testbed.image.file_payload(inode, offset, length).materialize()
