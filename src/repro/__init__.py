@@ -9,13 +9,18 @@ substitution and FHO→LBN remapping.
 
 Typical entry points:
 
+>>> from repro import build_testbed      # one-call testbed construction
 >>> from repro.servers import NfsTestbed, ServerMode, TestbedConfig
 >>> from repro.workloads import AllHitReadWorkload
 >>> from repro import experiments   # one module per paper table/figure
+>>> from repro import obs           # tracing + metrics registry
 
 See README.md for the tour, DESIGN.md for the architecture and
 EXPERIMENTS.md for paper-vs-measured results.
 """
+
+# Convenience re-exports (not in __all__, which lists subpackages only).
+from .servers import ServerMode, build_testbed
 
 __version__ = "1.0.0"
 
@@ -29,6 +34,7 @@ __all__ = [
     "iscsi",
     "net",
     "nfs",
+    "obs",
     "rpc",
     "servers",
     "sim",

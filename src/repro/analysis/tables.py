@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
@@ -15,12 +16,30 @@ class ExperimentResult:
     columns: List[str]
     rows: List[Dict[str, Any]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: per-data-point metrics snapshots (testbed.metrics_snapshot()),
+    #: keyed by a point label such as ``"ncache/16384"``.
+    reports: Dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, **values: Any) -> None:
         self.rows.append(values)
 
     def add_note(self, note: str) -> None:
         self.notes.append(note)
+
+    def attach_report(self, key: str, report: Dict[str, Any]) -> None:
+        """Attach one data point's machine-readable metrics snapshot."""
+        self.reports[key] = report
+
+    def to_json(self, indent: int = 2) -> str:
+        """The whole result — rows, notes and metrics reports — as JSON."""
+        return json.dumps({
+            "name": self.name,
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows,
+            "notes": self.notes,
+            "reports": self.reports,
+        }, indent=indent, default=str)
 
     def rows_where(self, **filters: Any) -> List[Dict[str, Any]]:
         out = []

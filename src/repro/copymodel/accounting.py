@@ -99,6 +99,11 @@ class CopyAccountant:
         self.costs = costs
         self.counters = counters if counters is not None else CounterSet()
         self.owner = owner
+        #: per-copy size distribution — the paper's accounting argument is
+        #: about how many bytes physically move, so the registry keeps the
+        #: whole distribution, not just the total.
+        self._copy_bytes = self.counters.registry.histogram(
+            "copy.bytes", unit="bytes")
 
     # -- data movement -----------------------------------------------------
 
@@ -109,6 +114,7 @@ class CopyAccountant:
         self.counters.add("copies.physical")
         self.counters.add("copies.physical_bytes", nbytes)
         self.counters.add(f"copies.physical.{category}")
+        self._copy_bytes.record(nbytes)
         if trace is not None:
             trace.records.append(CopyRecord(CopyKind.PHYSICAL, category,
                                             nbytes, is_metadata, self.owner))

@@ -102,6 +102,7 @@ class NCacheModule:
         #: ablation A3: perform FHO→LBN remapping on flush (§3.4).
         self.enable_remap = enable_remap
         self.counters = host.counters
+        self.trace = host.sim.trace
         host.add_rx_hook(self.rx_hook)
         host.add_tx_hook(self.tx_hook)
         self._classifier = PacketClassifier()
@@ -138,6 +139,10 @@ class NCacheModule:
             keyed_parts.append(KeyedPayload(bs, lbn_key=key))
         dgram.meta["keyed_payload"] = concat(keyed_parts)
         self.counters.add("ncache.cached_data_in", len(buffer_lists))
+        if self.trace.enabled:
+            self.trace.emit("ncache.cache_data_in", cat="ncache",
+                            tid=self.trace.tid_for(self.host.name),
+                            lba=message.lba, blocks=len(buffer_lists))
 
     def _cache_nfs_write(self, dgram: Datagram
                          ) -> Generator[Event, Any, None]:
@@ -160,6 +165,10 @@ class NCacheModule:
             keyed_parts.append(KeyedPayload(bs, fho_key=key))
         dgram.meta["keyed_payload"] = concat(keyed_parts)
         self.counters.add("ncache.cached_write", len(buffer_lists))
+        if self.trace.enabled:
+            self.trace.emit("ncache.cache_write", cat="ncache",
+                            tid=self.trace.tid_for(self.host.name),
+                            offset=call.offset, blocks=len(buffer_lists))
 
     def _insert_chunk(self, chunk: Chunk) -> Generator[Event, Any, None]:
         costs = self.host.costs
@@ -226,6 +235,10 @@ class NCacheModule:
             yield from self.host.acct.compute(
                 self.host.costs.ncache_remap_ns, "ncache.remap")
             self.store.remap(fho, lbn_key)
+            if self.trace.enabled:
+                self.trace.emit("ncache.remap", cat="ncache",
+                                tid=self.trace.tid_for(self.host.name),
+                                fho=str(fho), lbn=lbn_key.lbn)
             block_index += 1
 
     def _substitute(self, dgram: Datagram, leaves: List[Payload],
@@ -246,6 +259,8 @@ class NCacheModule:
         flavor = self.host.buffer_flavor
         substituted = 0
         lookups = 0
+        misses = 0
+        t0 = self.host.sim.now
         # Transport fragmentation may slice one block's placeholder across
         # several packets; the module resolves each *chunk* once per reply
         # (a per-reply lookup table), not once per fragment.
@@ -270,6 +285,7 @@ class NCacheModule:
                 resolved[cache_key] = chunk
             if chunk is None:
                 self.counters.add("ncache.substitute_miss")
+                misses += 1
                 if self.strict:
                     raise SimulationError(
                         f"substitution miss for {leaf!r}")
@@ -310,6 +326,11 @@ class NCacheModule:
         dgram.chain = BufferChain(new_buffers)
         self._recompute_framing(dgram)
         self.counters.add("ncache.substituted_replies")
+        if self.trace.enabled:
+            self.trace.complete("ncache.substitute", t0, cat="ncache",
+                                tid=self.trace.tid_for(self.host.name),
+                                packets=substituted, lookups=lookups,
+                                misses=misses, dst=str(dgram.dst))
 
     def _recompute_framing(self, dgram: Datagram) -> None:
         costs = self.host.costs
@@ -345,8 +366,16 @@ class NCacheModule:
         chunks = [self.store.lookup_lbn(key) for key in keys]
         if any(chunk is None for chunk in chunks):
             self.counters.add("ncache.l2_miss")
+            if self.trace.enabled:
+                self.trace.emit("ncache.l2_miss", cat="ncache",
+                                tid=self.trace.tid_for(self.host.name),
+                                lbn=lbn, nblocks=nblocks)
             return None
         self.counters.add("ncache.l2_hit")
+        if self.trace.enabled:
+            self.trace.emit("ncache.l2_hit", cat="ncache",
+                            tid=self.trace.tid_for(self.host.name),
+                            lbn=lbn, nblocks=nblocks)
         yield from self.host.acct.compute(
             nblocks * costs.ncache_mgmt_ns, "ncache.l2_serve")
         parts: List[Payload] = [

@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional
 
+from ..obs.trace import TraceBus
 from ..sim.stats import CounterSet
 from .chunk import Chunk
 from .keys import FhoKey, LbnKey
@@ -34,7 +35,8 @@ class NCacheStore:
     def __init__(self, capacity_bytes: int, chunk_size: int = 4096,
                  per_buffer_overhead: int = 160,
                  per_chunk_overhead: int = 64,
-                 counters: Optional[CounterSet] = None) -> None:
+                 counters: Optional[CounterSet] = None,
+                 trace: Optional[TraceBus] = None) -> None:
         if capacity_bytes < chunk_size:
             raise ValueError("capacity smaller than one chunk")
         self.capacity_bytes = capacity_bytes
@@ -42,6 +44,11 @@ class NCacheStore:
         self.per_buffer_overhead = per_buffer_overhead
         self.per_chunk_overhead = per_chunk_overhead
         self.counters = counters if counters is not None else CounterSet()
+        #: structured trace bus (owned by the simulator) — optional so the
+        #: store stays usable standalone in unit tests.
+        self.trace = trace
+        self._used_gauge = self.counters.registry.gauge(
+            "ncache.used.bytes", unit="bytes")
         self._lbn: Dict[LbnKey, Chunk] = {}
         self._fho: Dict[FhoKey, Chunk] = {}
         self._lru: "OrderedDict[int, Chunk]" = OrderedDict()
@@ -141,11 +148,15 @@ class NCacheStore:
     def _remove(self, chunk: Chunk) -> None:
         del self._lru[id(chunk)]
         self._used -= self._footprint(chunk)
+        self._used_gauge.set(self._used)
         # Pop the index entry only if it still points at this chunk — a
         # remap may already have installed a replacement under this key.
         index = self._lbn if isinstance(chunk.key, LbnKey) else self._fho
         if index.get(chunk.key) is chunk:
             del index[chunk.key]
+        if self.trace is not None and self.trace.enabled:
+            self.trace.emit("ncache.evict", cat="ncache",
+                            key=str(chunk.key), dirty=chunk.dirty)
         for listener in self.reclaim_listeners:
             listener(chunk)
 
@@ -165,6 +176,7 @@ class NCacheStore:
         if self.capacity_bytes - self._used + freed < footprint:
             raise RuntimeError("insert without room; call make_room() first")
         self._used += footprint
+        self._used_gauge.set(self._used)
         self._lru[id(chunk)] = chunk
         index[chunk.key] = chunk
         if existing is not None and existing is not chunk:

@@ -39,7 +39,7 @@ def attach_ncache(host: Host, vfs: VFS,
     store = NCacheStore(capacity_bytes, chunk_size=vfs.block_size,
                         per_buffer_overhead=per_buffer_overhead,
                         per_chunk_overhead=per_chunk_overhead,
-                        counters=host.counters)
+                        counters=host.counters, trace=host.sim.trace)
     image = vfs.image
 
     def fho_to_lbn(key: FhoKey) -> Optional[LbnKey]:

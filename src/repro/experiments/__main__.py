@@ -6,9 +6,14 @@ Usage::
     python -m repro.experiments --full          # paper-scale windows
     python -m repro.experiments figure5 table2  # a subset
     python -m repro.experiments --out results/  # also write .txt files
+    python -m repro.experiments figure4 --trace-out fig4.trace.json
 
 Each experiment prints its rendered table; with ``--out`` the tables are
-also written one file per experiment.
+also written one file per experiment, plus a ``<name>.metrics.json``
+report holding every data point's metrics snapshot.  ``--trace-out``
+enables structured tracing for the whole run and writes the combined
+trace — Chrome trace format by default (open in Perfetto or
+``chrome://tracing``), JSON-lines when the path ends in ``.jsonl``.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from ..obs.trace import start_tracing, stop_tracing
 from . import ablations, figure4, figure5, figure6, figure7, table1, table2
 
 RUNNERS = {
@@ -43,19 +49,35 @@ def main(argv=None) -> int:
                         help="paper-scale windows instead of quick mode")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory to write rendered tables into")
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        help="write a structured trace of the whole run "
+                             "(Chrome trace JSON; .jsonl for JSON lines)")
     args = parser.parse_args(argv)
 
     names = args.experiments or list(RUNNERS)
     quick = not args.full
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        for result in RUNNERS[name](quick):
-            print(result.render())
-            print()
-            if args.out is not None:
-                path = args.out / f"{result.name}.txt"
-                path.write_text(result.render() + "\n")
+    session = start_tracing() if args.trace_out is not None else None
+    try:
+        for name in names:
+            for result in RUNNERS[name](quick):
+                print(result.render())
+                print()
+                if args.out is not None:
+                    path = args.out / f"{result.name}.txt"
+                    path.write_text(result.render() + "\n")
+                    metrics_path = args.out / f"{result.name}.metrics.json"
+                    metrics_path.write_text(result.to_json() + "\n")
+    finally:
+        if session is not None:
+            stop_tracing()
+            if args.trace_out.suffix == ".jsonl":
+                session.write_jsonl(args.trace_out)
+            else:
+                session.write_chrome(args.trace_out)
+            print(f"trace: {args.trace_out} ({session.n_events()} events)",
+                  file=sys.stderr)
     return 0
 
 

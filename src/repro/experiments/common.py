@@ -19,7 +19,8 @@ from typing import List, Optional, Sequence
 from ..core.chunk import Chunk
 from ..core.keys import KeyedPayload, LbnKey
 from ..net.buffer import JunkPayload, chain_from_payload
-from ..servers.config import MB, ServerMode, TestbedConfig
+from ..servers.config import MB, ServerMode
+from ..servers.factory import build_testbed
 from ..servers.testbed import NfsTestbed, WebTestbed
 
 ALL_MODES = (ServerMode.ORIGINAL, ServerMode.BASELINE, ServerMode.NCACHE)
@@ -51,17 +52,18 @@ def nfs_testbed(mode: ServerMode, n_nics: int = 1, n_daemons: int = 16,
                 flush_interval_s: Optional[float] = 0.25,
                 **config_overrides) -> NfsTestbed:
     """A fully-built NFS testbed for one server mode."""
-    cfg = TestbedConfig(mode=mode, n_server_nics=n_nics,
-                        n_daemons=n_daemons, **config_overrides)
-    return NfsTestbed(cfg, flush_interval_s=flush_interval_s)
+    return build_testbed("nfs", mode, flush_interval_s=flush_interval_s,
+                         n_server_nics=n_nics, n_daemons=n_daemons,
+                         **config_overrides)
 
 
 def web_testbed(mode: ServerMode, n_nics: int = 2,
                 connections_per_client: int = 6,
                 **config_overrides) -> WebTestbed:
     """A fully-built kHTTPd testbed for one server mode."""
-    cfg = TestbedConfig(mode=mode, n_server_nics=n_nics, **config_overrides)
-    return WebTestbed(cfg, connections_per_client=connections_per_client)
+    return build_testbed("web", mode,
+                         connections_per_client=connections_per_client,
+                         n_server_nics=n_nics, **config_overrides)
 
 
 def warm_caches(testbed, ranked_names: Sequence[str]) -> None:

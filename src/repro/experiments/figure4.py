@@ -20,8 +20,13 @@ GB = 1 << 30
 
 
 def measure_point(mode: ServerMode, request_size: int, quick: bool = True,
-                  streams_per_client: int = 12) -> dict:
-    """One (mode, request size) cell of Figure 4."""
+                  streams_per_client: int = 12,
+                  reports: dict = None) -> dict:
+    """One (mode, request size) cell of Figure 4.
+
+    When ``reports`` is given, the testbed's full metrics snapshot is
+    stored there under ``"<mode>/<request_size>"``.
+    """
     proto = protocol(quick)
     file_size = (256 << 20) if quick else 2 * GB
     testbed = nfs_testbed(mode, n_nics=1, n_daemons=24,
@@ -32,6 +37,8 @@ def measure_point(mode: ServerMode, request_size: int, quick: bool = True,
     testbed.setup()
     workload.start()
     testbed.warmup_then_measure(proto.warmup_s, proto.measure_s)
+    if reports is not None:
+        reports[f"{mode.value}/{request_size}"] = testbed.metrics_snapshot()
     return {
         "mode": mode.label,
         "request_kb": request_size // 1024,
@@ -50,7 +57,8 @@ def run(quick: bool = True) -> ExperimentResult:
                  "server_cpu_pct", "storage_cpu_pct"])
     for mode in ALL_MODES:
         for request_size in NFS_REQUEST_SIZES:
-            result.add_row(**measure_point(mode, request_size, quick))
+            result.add_row(**measure_point(mode, request_size, quick,
+                                           reports=result.reports))
     for request_kb in (16, 32):
         orig = result.value("throughput_mbps", mode="original",
                             request_kb=request_kb)

@@ -20,8 +20,13 @@ from .common import ALL_MODES, NFS_REQUEST_SIZES, nfs_testbed, protocol
 
 
 def measure_point(mode: ServerMode, request_size: int, n_nics: int,
-                  quick: bool = True, streams_per_client: int = 6) -> dict:
-    """One (mode, request size, NIC count) cell of Figure 5."""
+                  quick: bool = True, streams_per_client: int = 6,
+                  reports: dict = None) -> dict:
+    """One (mode, request size, NIC count) cell of Figure 5.
+
+    When ``reports`` is given, the testbed's full metrics snapshot is
+    stored there under ``"<mode>/<nics>nic/<request_size>"``.
+    """
     proto = protocol(quick)
     testbed = nfs_testbed(mode, n_nics=n_nics, n_daemons=8,
                           flush_interval_s=None)
@@ -31,6 +36,9 @@ def measure_point(mode: ServerMode, request_size: int, n_nics: int,
     run_until_complete(testbed.sim, workload.prewarm())
     workload.start()
     testbed.warmup_then_measure(proto.warmup_s, proto.measure_s)
+    if reports is not None:
+        reports[f"{mode.value}/{n_nics}nic/{request_size}"] = \
+            testbed.metrics_snapshot()
     return {
         "mode": mode.label,
         "nics": n_nics,
@@ -52,7 +60,8 @@ def run(quick: bool = True) -> ExperimentResult:
         for mode in ALL_MODES:
             for request_size in NFS_REQUEST_SIZES:
                 result.add_row(
-                    **measure_point(mode, request_size, n_nics, quick))
+                    **measure_point(mode, request_size, n_nics, quick,
+                                    reports=result.reports))
     orig = result.value("throughput_mbps", mode="original", nics=2,
                         request_kb=32)
     ncache = result.value("throughput_mbps", mode="NCache", nics=2,

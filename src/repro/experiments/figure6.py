@@ -31,8 +31,12 @@ QUICK_SCALE = 4
 
 
 def measure_working_set(mode: ServerMode, working_set_mb: int,
-                        quick: bool = True) -> dict:
-    """One (mode, working set) cell of Figure 6(a)."""
+                        quick: bool = True, reports: dict = None) -> dict:
+    """One (mode, working set) cell of Figure 6(a).
+
+    When ``reports`` is given, the testbed's full metrics snapshot is
+    stored there under ``"<mode>/<working_set_mb>mb"``.
+    """
     proto = protocol(quick)
     scale = QUICK_SCALE if quick else 1
     overrides = scaled_memory_config(scale)
@@ -43,6 +47,9 @@ def measure_working_set(mode: ServerMode, working_set_mb: int,
     warm_caches(testbed, workload.paths)
     workload.start()
     testbed.warmup_then_measure(proto.warmup_s, proto.measure_s)
+    if reports is not None:
+        reports[f"{mode.value}/{working_set_mb}mb"] = \
+            testbed.metrics_snapshot()
     return {
         "mode": mode.label,
         "working_set_mb": working_set_mb,
@@ -62,8 +69,12 @@ def _ncache_hit_ratio(testbed) -> float:
 
 
 def measure_allhit(mode: ServerMode, request_size: int,
-                   quick: bool = True) -> dict:
-    """One (mode, request size) cell of Figure 6(b)."""
+                   quick: bool = True, reports: dict = None) -> dict:
+    """One (mode, request size) cell of Figure 6(b).
+
+    When ``reports`` is given, the testbed's full metrics snapshot is
+    stored there under ``"<mode>/allhit/<request_size>"``.
+    """
     proto = protocol(quick)
     testbed = web_testbed(mode)
     workload = AllHitWebWorkload(testbed, request_size)
@@ -71,6 +82,9 @@ def measure_allhit(mode: ServerMode, request_size: int,
     run_until_complete(testbed.sim, workload.prewarm())
     workload.start()
     testbed.warmup_then_measure(proto.warmup_s, proto.measure_s)
+    if reports is not None:
+        reports[f"{mode.value}/allhit/{request_size}"] = \
+            testbed.metrics_snapshot()
     return {
         "mode": mode.label,
         "request_kb": request_size // 1024,
@@ -91,7 +105,8 @@ def run_working_set(quick: bool = True) -> ExperimentResult:
                         f"{QUICK_SCALE}x (ratios preserved)")
     for mode in ALL_MODES:
         for ws in FULL_WORKING_SETS_MB:
-            result.add_row(**measure_working_set(mode, ws, quick))
+            result.add_row(**measure_working_set(mode, ws, quick,
+                                                 reports=result.reports))
     for ws in (500, 750):
         orig = result.value("throughput_mbps", mode="original",
                             working_set_mb=ws)
@@ -111,7 +126,8 @@ def run_allhit(quick: bool = True) -> ExperimentResult:
         columns=["mode", "request_kb", "throughput_mbps", "ops_per_sec"])
     for mode in ALL_MODES:
         for request_size in WEB_REQUEST_SIZES:
-            result.add_row(**measure_allhit(mode, request_size, quick))
+            result.add_row(**measure_allhit(mode, request_size, quick,
+                                            reports=result.reports))
     for request_kb in (16, 128):
         orig = result.value("throughput_mbps", mode="original",
                             request_kb=request_kb)
@@ -139,6 +155,8 @@ def run(quick: bool = True) -> ExperimentResult:
     for row in b.rows:
         merged.add_row(panel="b", working_set_mb="", **row)
     merged.notes = a.notes + b.notes
+    merged.reports.update(a.reports)
+    merged.reports.update(b.reports)
     return merged
 
 

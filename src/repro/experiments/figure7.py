@@ -21,8 +21,12 @@ REGULAR_PERCENTAGES = (30, 45, 60, 75)
 
 
 def measure_point(mode: ServerMode, pct_regular: int,
-                  quick: bool = True) -> dict:
-    """One (mode, regular-data %) cell of Figure 7."""
+                  quick: bool = True, reports: dict = None) -> dict:
+    """One (mode, regular-data %) cell of Figure 7.
+
+    When ``reports`` is given, the testbed's full metrics snapshot is
+    stored there under ``"<mode>/<pct_regular>pct"``.
+    """
     proto = protocol(quick)
     fs_size = (GB // 2) if quick else 2 * GB
     testbed = nfs_testbed(mode, n_nics=1, n_daemons=16,
@@ -36,6 +40,9 @@ def measure_point(mode: ServerMode, pct_regular: int,
     warm_caches(testbed, workload.names)
     workload.start()
     testbed.warmup_then_measure(proto.warmup_s, proto.measure_s)
+    if reports is not None:
+        reports[f"{mode.value}/{pct_regular}pct"] = \
+            testbed.metrics_snapshot()
     return {
         "mode": mode.label,
         "pct_regular": pct_regular,
@@ -54,7 +61,8 @@ def run(quick: bool = True) -> ExperimentResult:
                  "server_cpu_pct"])
     for mode in ALL_MODES:
         for pct in REGULAR_PERCENTAGES:
-            result.add_row(**measure_point(mode, pct, quick))
+            result.add_row(**measure_point(mode, pct, quick,
+                                           reports=result.reports))
     for pct, paper in ((30, 16.3), (75, 18.6)):
         orig = result.value("ops_per_sec", mode="original", pct_regular=pct)
         ncache = result.value("ops_per_sec", mode="NCache", pct_regular=pct)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..net.buffer import Payload
+from ..obs.trace import TraceBus
 from ..sim.stats import CounterSet
 from .disk import BLOCK_SIZE
 
@@ -49,12 +50,15 @@ class BufferCache:
     """LRU page cache with byte capacity and clean-first eviction."""
 
     def __init__(self, capacity_bytes: int, block_size: int = BLOCK_SIZE,
-                 counters: Optional[CounterSet] = None) -> None:
+                 counters: Optional[CounterSet] = None,
+                 trace: Optional[TraceBus] = None) -> None:
         if capacity_bytes < block_size:
             raise ValueError("cache smaller than one block")
         self.capacity_bytes = capacity_bytes
         self.block_size = block_size
         self.counters = counters if counters is not None else CounterSet()
+        #: structured trace bus — optional so the cache stays standalone.
+        self.trace = trace
         self._entries: "OrderedDict[int, CacheEntry]" = OrderedDict()
 
     # -- inspection ---------------------------------------------------------
@@ -83,8 +87,12 @@ class BufferCache:
         entry = self._entries.get(lbn)
         if entry is None:
             self.counters.add("bcache.miss")
+            if self.trace is not None and self.trace.enabled:
+                self.trace.emit("bcache.miss", cat="fs", lbn=lbn)
             return None
         self.counters.add("bcache.hit")
+        if self.trace is not None and self.trace.enabled:
+            self.trace.emit("bcache.hit", cat="fs", lbn=lbn)
         if touch:
             self._entries.move_to_end(lbn)
         return entry
@@ -113,6 +121,9 @@ class BufferCache:
                 self.counters.add("bcache.evict_dirty")
             else:
                 self.counters.add("bcache.evict_clean")
+            if self.trace is not None and self.trace.enabled:
+                self.trace.emit("bcache.evict", cat="fs", lbn=victim.lbn,
+                                dirty=victim.dirty)
         return dirty_victims
 
     def _pick_victim(self) -> Optional[CacheEntry]:

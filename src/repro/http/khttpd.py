@@ -43,6 +43,9 @@ class KHttpd:
         self.port = port
         self.requests_served = 0
         self.not_found = 0
+        #: server-side GET service time distribution.
+        self._get_latency = host.counters.registry.histogram(
+            "http.get.latency", unit="s")
         host.stack.tcp_listen(port, self._accept)
 
     def _accept(self, conn: TCPConnection) -> None:
@@ -69,6 +72,7 @@ class KHttpd:
         if not isinstance(request, HttpRequest):
             raise SimulationError(f"kHTTPd got {request!r}")
         trace: Optional[RequestTrace] = dgram.meta.get("trace")
+        t0 = self.host.sim.now
         yield from self.host.acct.compute(
             self.host.costs.http_request_ns, "http.request")
         path = request.path.lstrip("/")
@@ -93,3 +97,10 @@ class KHttpd:
             header=BytesPayload(response.serialize_header()),
             discipline=self.discipline, trace=trace, is_metadata=False,
             meta={"trace": trace} if trace is not None else None)
+        self._get_latency.record(self.host.sim.now - t0)
+        bus = self.host.sim.trace
+        if bus.enabled:
+            bus.complete("http.get", t0, cat="http",
+                         tid=bus.tid_for(self.host.name),
+                         path=request.path, bytes=inode.size,
+                         client=str(conn.remote))

@@ -107,6 +107,12 @@ class NetworkStack:
                          meta=dict(meta or {}))
         dgram = yield from self.host.run_tx_hooks(dgram, trace)
         yield from self._software_checksum_tx(dgram.chain)
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit("net.send", cat="net", tid=bus.tid_for(self.host.name),
+                     proto="udp", dst=str(dst), frames=dgram.n_frames,
+                     wire_bytes=dgram.wire_bytes,
+                     msg=type(message).__name__)
         nic = self.host.nic_for_ip(src_ip)
         start(self.sim, nic.transmit(dgram), name=f"udp-tx {src_ip}->{dst}")
         return dgram
@@ -164,6 +170,12 @@ class NetworkStack:
             self._handle_handshake(nic, dgram)
             return
 
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit("net.receive", cat="net",
+                     tid=bus.tid_for(self.host.name),
+                     proto=dgram.protocol, src=str(dgram.src),
+                     frames=dgram.n_frames, wire_bytes=dgram.wire_bytes)
         yield from acct.compute(dgram.n_frames * costs.packet_rx_ns, "net.rx")
         if dgram.protocol == "udp":
             yield from acct.compute(costs.udp_datagram_ns, "udp.rx")
@@ -338,6 +350,12 @@ class TCPConnection:
                          wire_bytes=wire_bytes, meta=dict(meta or {}))
         dgram = yield from host.run_tx_hooks(dgram, trace)
         yield from self.stack._software_checksum_tx(dgram.chain)
+        bus = self.stack.sim.trace
+        if bus.enabled:
+            bus.emit("net.send", cat="net", tid=bus.tid_for(host.name),
+                     proto="tcp", dst=str(self.remote),
+                     frames=dgram.n_frames, wire_bytes=dgram.wire_bytes,
+                     msg=type(message).__name__)
         nic = host.nic_for_ip(self.local.ip)
         start(self.stack.sim, nic.transmit(dgram),
               name=f"tcp-tx {self.local}->{self.remote}")

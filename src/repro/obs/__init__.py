@@ -1,0 +1,41 @@
+"""Observability layer: structured tracing, metrics, and exporters.
+
+* :mod:`repro.obs.trace` — the :class:`TraceBus` (zero-overhead-when-
+  disabled structured event bus), :class:`TraceSession`, and the
+  Chrome-trace / JSONL exporters.
+* :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` of declared
+  counters, gauges, and log-linear histograms.
+
+See the "Observability" sections of README.md and DESIGN.md for the
+event schema and the ``subsystem.verb.unit`` naming convention.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricError, MetricsRegistry
+from .trace import (
+    TraceBus,
+    TraceEvent,
+    TraceSession,
+    active_session,
+    start_tracing,
+    stop_tracing,
+    tracing,
+    write_chrome_trace,
+    write_jsonl_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "TraceBus",
+    "TraceEvent",
+    "TraceSession",
+    "active_session",
+    "start_tracing",
+    "stop_tracing",
+    "tracing",
+    "write_chrome_trace",
+    "write_jsonl_trace",
+]

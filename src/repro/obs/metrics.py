@@ -1,0 +1,311 @@
+"""Declared-metric registry: counters, gauges and histograms.
+
+This replaces the stringly-typed ``sim.counters["nfs.read.bytes"]``
+access with a declared API::
+
+    registry = MetricsRegistry()
+    read_bytes = registry.counter("nfs.read.bytes", unit="bytes")
+    read_bytes.add(4096)
+    latency = registry.histogram("nfs.read.latency", unit="s")
+    latency.record(0.0013)
+    registry.snapshot()["histograms"]["nfs.read.latency"]["p95"]
+
+Naming convention: ``subsystem.verb.unit`` (``ncache.evict``,
+``copy.bytes``, ``nfs.read.latency``).  Declaring the same name twice
+returns the same metric; declaring it with a different *kind* or a
+conflicting *unit* is an error — the registry is the single source of
+truth for what a name means.
+
+Histograms are log-linear (HdrHistogram-style): each power-of-two range
+is split into :data:`Histogram.SUBBUCKETS` linear sub-buckets, giving a
+bounded relative error of ``1/SUBBUCKETS`` with O(1) deterministic
+recording and no reservoir sampling.  Snapshots are available mid-run;
+:meth:`MetricsRegistry.reset` is the warmup/measure boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterator, Optional
+
+
+class MetricError(ValueError):
+    """Raised for conflicting metric declarations."""
+
+
+class Counter:
+    """A named monotonically increasing counter with reset snapshots."""
+
+    __slots__ = ("name", "unit", "_total", "_mark")
+
+    kind = "counter"
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self._total = 0.0
+        self._mark = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increment by ``amount`` (defaults to 1)."""
+        self._total += amount
+
+    def reset(self) -> None:
+        """Start a new measurement window; ``total`` is unaffected."""
+        self._mark = self._total
+
+    @property
+    def total(self) -> float:
+        """Grand total since construction."""
+        return self._total
+
+    @property
+    def value(self) -> float:
+        """Total since the last :meth:`reset`."""
+        return self._total - self._mark
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A named point-in-time level (cache occupancy, queue depth)."""
+
+    __slots__ = ("name", "unit", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        """Adjust the current level by ``delta``."""
+        self.value += delta
+
+    def reset(self) -> None:
+        """Gauges are levels, not rates: reset keeps the current value."""
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Log-linear histogram of non-negative samples.
+
+    Buckets are ``(exponent, sub-bucket)`` pairs from ``math.frexp``:
+    every power-of-two range carries :data:`SUBBUCKETS` equal-width
+    sub-buckets, so percentile estimates have relative error bounded by
+    ``1/SUBBUCKETS`` (~1.6%).  Recording is O(1), deterministic, and
+    allocation-light; min/max/mean are exact.
+    """
+
+    __slots__ = ("name", "unit", "count", "total",
+                 "_min", "_max", "_zeros", "_buckets")
+
+    kind = "histogram"
+
+    SUBBUCKETS = 64
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear all samples (the warmup/measure boundary)."""
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = 0.0
+        self._zeros = 0
+        self._buckets: Dict[tuple, int] = {}
+
+    def record(self, value: float) -> None:
+        """Record one sample; negative values are a caller bug."""
+        if value < 0:
+            raise ValueError(f"histogram {self.name}: negative sample {value}")
+        self.count += 1
+        self.total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if value == 0.0:
+            self._zeros += 1
+            return
+        mantissa, exponent = math.frexp(value)
+        sub = int((mantissa - 0.5) * (2 * self.SUBBUCKETS))
+        key = (exponent, sub)
+        self._buckets[key] = self._buckets.get(key, 0) + 1
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Exact arithmetic mean of all samples (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        """Exact smallest sample (0 when empty)."""
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Exact largest sample (0 when empty)."""
+        return self._max
+
+    def percentile(self, fraction: float) -> float:
+        """Estimate the ``fraction`` percentile (0.95 → p95).
+
+        Exact for the zero bucket and at the extremes; elsewhere the
+        bucket midpoint, clamped into the observed [min, max] range.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction {fraction} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(fraction * self.count))
+        cum = self._zeros
+        if cum >= rank:
+            return 0.0
+        for key in sorted(self._buckets):
+            cum += self._buckets[key]
+            if cum >= rank:
+                exponent, sub = key
+                mid = math.ldexp(
+                    0.5 + (sub + 0.5) / (2 * self.SUBBUCKETS), exponent)
+                return min(max(mid, self.min), self._max)
+        return self._max
+
+    @property
+    def p50(self) -> float:
+        """Median estimate."""
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """95th percentile estimate."""
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        """99th percentile estimate."""
+        return self.percentile(0.99)
+
+    def summary(self) -> Dict[str, Any]:
+        """Snapshot dict (count, mean, min/max, p50/p95/p99, unit)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "unit": self.unit,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, p50={self.p50:.4g})"
+
+
+class MetricsRegistry:
+    """One namespace of declared metrics, snapshot-able mid-run."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    # -- declaration (declare-or-get) ----------------------------------------
+
+    def _declare(self, cls: type, name: str, unit: str) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, unit)
+            return metric
+        if metric.__class__ is not cls:
+            raise MetricError(
+                f"{name!r} already declared as a {metric.kind}, "
+                f"not a {cls.kind}")
+        if unit:
+            if metric.unit and metric.unit != unit:
+                raise MetricError(
+                    f"{name!r} declared with unit {metric.unit!r}, "
+                    f"redeclared with {unit!r}")
+            metric.unit = unit
+        return metric
+
+    def counter(self, name: str, unit: str = "") -> Counter:
+        """Declare-or-get a counter."""
+        metric = self._metrics.get(name)
+        if metric is not None and metric.__class__ is Counter and not unit:
+            return metric  # hot path: no validation work on re-access
+        return self._declare(Counter, name, unit)
+
+    def gauge(self, name: str, unit: str = "") -> Gauge:
+        """Declare-or-get a gauge."""
+        metric = self._metrics.get(name)
+        if metric is not None and metric.__class__ is Gauge and not unit:
+            return metric
+        return self._declare(Gauge, name, unit)
+
+    def histogram(self, name: str, unit: str = "") -> Histogram:
+        """Declare-or-get a histogram."""
+        metric = self._metrics.get(name)
+        if metric is not None and metric.__class__ is Histogram and not unit:
+            return metric
+        return self._declare(Histogram, name, unit)
+
+    # -- inspection ----------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Any]:
+        """The metric registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def counters(self) -> Iterator[Counter]:
+        """All declared counters (no particular order)."""
+        return (m for m in self._metrics.values()
+                if m.__class__ is Counter)
+
+    def histograms(self) -> Iterator[Histogram]:
+        """All declared histograms (no particular order)."""
+        return (m for m in self._metrics.values()
+                if m.__class__ is Histogram)
+
+    def gauges(self) -> Iterator[Gauge]:
+        """All declared gauges (no particular order)."""
+        return (m for m in self._metrics.values()
+                if m.__class__ is Gauge)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Warmup/measure boundary: counters re-mark, histograms clear,
+        gauges (being levels) keep their current value."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Machine-readable snapshot of every declared metric."""
+        return {
+            "counters": {c.name: c.value
+                         for c in sorted(self.counters(),
+                                         key=lambda m: m.name)},
+            "gauges": {g.name: g.value
+                       for g in sorted(self.gauges(), key=lambda m: m.name)},
+            "histograms": {h.name: h.summary()
+                           for h in sorted(self.histograms(),
+                                           key=lambda m: m.name)},
+        }

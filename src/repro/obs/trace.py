@@ -1,0 +1,254 @@
+"""Structured event tracing: the :class:`TraceBus` and its exporters.
+
+The bus is the observability seam every subsystem emits into: the sim
+engine's event dispatch, the network stack's packet paths, the NCache
+module (hits / misses / remaps / evictions), the file-system buffer
+cache, and the NFS/kHTTPd request handlers.  Design rules:
+
+* **zero overhead when disabled** — every emit site guards on
+  ``bus.enabled`` (a plain attribute), and :meth:`TraceBus.emit` itself
+  returns before touching the clock or building an event, so a disabled
+  bus costs one attribute load and a branch;
+* **deterministic** — events are appended in execution order; replaying
+  the same simulation yields byte-identical traces;
+* **schema'd** — every event has ``name`` (``subsystem.verb``), ``cat``
+  (subsystem), ``ph`` (Chrome phase: ``i`` instant, ``X`` complete),
+  ``ts`` (simulated seconds), optional ``dur``, and free-form ``args``.
+
+Exporters write Chrome-trace-format JSON (loadable in ``chrome://tracing``
+or https://ui.perfetto.dev) and plain JSONL (one event object per line).
+A :class:`TraceSession` collects the buses of every simulator built while
+it is active, so one CLI flag can trace a whole experiment sweep: each
+testbed becomes a Chrome "process", each host a "thread".
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+#: Chrome trace phases used by this library.
+PHASE_INSTANT = "i"
+PHASE_COMPLETE = "X"
+
+_KNOWN_PHASES = (PHASE_INSTANT, PHASE_COMPLETE)
+
+
+class TraceEvent:
+    """One structured trace event (timestamps in simulated seconds)."""
+
+    __slots__ = ("name", "cat", "ph", "ts", "dur", "tid", "args")
+
+    def __init__(self, name: str, cat: str, ph: str, ts: float,
+                 dur: Optional[float], tid: int,
+                 args: Dict[str, Any]) -> None:
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.ts = ts
+        self.dur = dur
+        self.tid = tid
+        self.args = args
+
+    def to_chrome(self, pid: int) -> Dict[str, Any]:
+        """Chrome-trace event object (timestamps in microseconds)."""
+        out: Dict[str, Any] = {
+            "name": self.name, "cat": self.cat, "ph": self.ph,
+            "ts": self.ts * 1e6, "pid": pid, "tid": self.tid,
+        }
+        if self.dur is not None:
+            out["dur"] = self.dur * 1e6
+        if self.args:
+            out["args"] = self.args
+        return out
+
+    def to_jsonl(self, pid: int) -> Dict[str, Any]:
+        """Plain JSON object (timestamps in simulated seconds)."""
+        out: Dict[str, Any] = {
+            "name": self.name, "cat": self.cat, "ph": self.ph,
+            "t": self.ts, "pid": pid, "tid": self.tid,
+        }
+        if self.dur is not None:
+            out["dur"] = self.dur
+        if self.args:
+            out["args"] = self.args
+        return out
+
+    def __repr__(self) -> str:
+        return (f"TraceEvent({self.name!r}, t={self.ts:.9f}, "
+                f"ph={self.ph!r}, args={self.args!r})")
+
+
+class TraceBus:
+    """Per-simulator event sink, disabled (and nearly free) by default.
+
+    ``clock`` is anything with a ``now`` attribute in simulated seconds —
+    in practice the :class:`~repro.sim.engine.Simulator` that owns the
+    bus.  ``engine_events`` additionally traces every engine dispatch
+    (very high volume; off unless explicitly requested).
+    """
+
+    __slots__ = ("clock", "pid", "process_name", "enabled", "engine_events",
+                 "events", "_tids")
+
+    def __init__(self, clock: Any = None, pid: int = 1,
+                 process_name: str = "sim") -> None:
+        self.clock = clock
+        self.pid = pid
+        self.process_name = process_name
+        self.enabled = False
+        self.engine_events = False
+        self.events: List[TraceEvent] = []
+        self._tids: Dict[str, int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def enable(self, engine_events: bool = False) -> "TraceBus":
+        """Start recording; returns self for chaining."""
+        self.enabled = True
+        self.engine_events = engine_events
+        return self
+
+    def disable(self) -> None:
+        """Stop recording (events already captured are kept)."""
+        self.enabled = False
+        self.engine_events = False
+
+    def clear(self) -> None:
+        """Drop all captured events."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, name: str, cat: str = "sim", ph: str = PHASE_INSTANT,
+             dur: Optional[float] = None, tid: int = 0,
+             t: Optional[float] = None, **args: Any) -> None:
+        """Record one event; a no-op (before any work) when disabled."""
+        if not self.enabled:
+            return
+        if t is None:
+            t = self.clock.now if self.clock is not None else 0.0
+        self.events.append(TraceEvent(name, cat, ph, t, dur, tid, args))
+
+    def complete(self, name: str, start_t: float, cat: str = "sim",
+                 tid: int = 0, **args: Any) -> None:
+        """Record a span that started at ``start_t`` and ends now."""
+        if not self.enabled:
+            return
+        now = self.clock.now if self.clock is not None else start_t
+        self.events.append(TraceEvent(name, cat, PHASE_COMPLETE, start_t,
+                                      now - start_t, tid, args))
+
+    def tid_for(self, thread_name: str) -> int:
+        """Stable small integer for a logical thread (e.g. a host)."""
+        tid = self._tids.get(thread_name)
+        if tid is None:
+            tid = self._tids[thread_name] = len(self._tids) + 1
+        return tid
+
+    # -- export --------------------------------------------------------------
+
+    def chrome_events(self) -> List[Dict[str, Any]]:
+        """This bus's events plus process/thread metadata, Chrome format."""
+        out: List[Dict[str, Any]] = [{
+            "name": "process_name", "ph": "M", "pid": self.pid, "tid": 0,
+            "args": {"name": self.process_name},
+        }]
+        for tname, tid in sorted(self._tids.items(), key=lambda kv: kv[1]):
+            out.append({"name": "thread_name", "ph": "M", "pid": self.pid,
+                        "tid": tid, "args": {"name": tname}})
+        out.extend(ev.to_chrome(self.pid) for ev in self.events)
+        return out
+
+    def jsonl_events(self) -> List[Dict[str, Any]]:
+        """This bus's events as plain JSON objects."""
+        return [ev.to_jsonl(self.pid) for ev in self.events]
+
+
+def write_chrome_trace(path: Any, buses: Iterable[TraceBus]) -> None:
+    """Write a ``chrome://tracing`` / Perfetto-loadable JSON file."""
+    events: List[Dict[str, Any]] = []
+    for bus in buses:
+        events.extend(bus.chrome_events())
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w") as fh:
+        json.dump(document, fh)
+
+
+def write_jsonl_trace(path: Any, buses: Iterable[TraceBus]) -> None:
+    """Write one JSON event object per line (grep/jq-friendly)."""
+    with open(path, "w") as fh:
+        for bus in buses:
+            for obj in bus.jsonl_events():
+                fh.write(json.dumps(obj))
+                fh.write("\n")
+
+
+class TraceSession:
+    """Collects every :class:`TraceBus` created while the session is active.
+
+    :class:`~repro.sim.engine.Simulator` registers its bus with the
+    active session at construction, so tracing a whole experiment sweep
+    is one ``with tracing():`` block (or the ``--trace-out`` CLI flag)
+    with no per-testbed plumbing.
+    """
+
+    def __init__(self, engine_events: bool = False) -> None:
+        self.engine_events = engine_events
+        self.buses: List[TraceBus] = []
+
+    def adopt(self, bus: TraceBus) -> None:
+        """Enable ``bus`` and give it a distinct Chrome pid."""
+        bus.pid = len(self.buses) + 1
+        bus.enable(engine_events=self.engine_events)
+        self.buses.append(bus)
+
+    def n_events(self) -> int:
+        """Total events captured across all adopted buses."""
+        return sum(len(bus) for bus in self.buses)
+
+    def write_chrome(self, path: Any) -> None:
+        """Export every adopted bus into one Chrome-trace JSON file."""
+        write_chrome_trace(path, self.buses)
+
+    def write_jsonl(self, path: Any) -> None:
+        """Export every adopted bus as JSONL."""
+        write_jsonl_trace(path, self.buses)
+
+
+_active_session: Optional[TraceSession] = None
+
+
+def active_session() -> Optional[TraceSession]:
+    """The session new simulators should register with, if any."""
+    return _active_session
+
+
+def start_tracing(engine_events: bool = False) -> TraceSession:
+    """Begin a global trace session (idempotent per start/stop pair)."""
+    global _active_session
+    if _active_session is not None:
+        raise RuntimeError("a trace session is already active")
+    _active_session = TraceSession(engine_events=engine_events)
+    return _active_session
+
+
+def stop_tracing() -> Optional[TraceSession]:
+    """End the active session and return it (None if none active)."""
+    global _active_session
+    session, _active_session = _active_session, None
+    return session
+
+
+@contextmanager
+def tracing(engine_events: bool = False) -> Iterator[TraceSession]:
+    """``with tracing() as session:`` — scoped global trace session."""
+    session = start_tracing(engine_events=engine_events)
+    try:
+        yield session
+    finally:
+        stop_tracing()

@@ -1,6 +1,7 @@
 """Testbed assembly: server modes and full four-machine configurations."""
 
 from .config import GB, MB, ServerMode, TestbedConfig
+from .factory import build_testbed
 from .testbed import BaseTestbed, NfsTestbed, WebTestbed, run_until_complete
 
 __all__ = [
@@ -11,5 +12,6 @@ __all__ = [
     "ServerMode",
     "TestbedConfig",
     "WebTestbed",
+    "build_testbed",
     "run_until_complete",
 ]

@@ -45,8 +45,9 @@ class ServerMode(enum.Enum):
 
     @property
     def label(self) -> str:
-        return {"original": "original", "baseline": "baseline",
-                "ncache": "NCache"}[self.value]
+        """Display label, derived from the enum value (no parallel table);
+        NCache keeps its branded capitalisation."""
+        return "NCache" if self is ServerMode.NCACHE else self.value
 
 
 @dataclass

@@ -1,0 +1,60 @@
+"""One-call testbed construction: the public facade over testbed wiring.
+
+Experiments, notebooks and tests all want the same thing — "give me a
+fully-built NFS (or web) testbed in mode X" — without re-deriving the
+per-kind defaults (NIC counts, daemon counts, flush intervals,
+connections per client).  :func:`build_testbed` centralises those
+defaults; anything it does not recognise as a builder knob is forwarded
+to :class:`~repro.servers.config.TestbedConfig`, so every paper knob
+stays reachable from the one entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .config import ServerMode, TestbedConfig
+from .testbed import BaseTestbed, NfsTestbed, WebTestbed
+
+#: per-kind defaults applied when the caller does not override them.
+_NFS_DEFAULTS = dict(n_server_nics=1, n_daemons=16)
+_WEB_DEFAULTS = dict(n_server_nics=2)
+
+
+def build_testbed(kind: str = "nfs",
+                  mode: Union[ServerMode, str] = ServerMode.ORIGINAL,
+                  *,
+                  image_capacity_blocks: int = 4 << 20,
+                  seed: int = 1,
+                  flush_interval_s: Optional[float] = 0.25,
+                  connections_per_client: int = 6,
+                  **config_overrides) -> BaseTestbed:
+    """Build a fully-wired testbed of the given kind and server mode.
+
+    ``kind`` is ``"nfs"`` (NFS-over-iSCSI server, §5.4) or ``"web"``
+    (kHTTPd, §5.5).  ``mode`` accepts a :class:`ServerMode` or its string
+    value (``"original"``/``"baseline"``/``"ncache"``).  Remaining keyword
+    arguments override :class:`TestbedConfig` fields; kind-specific
+    defaults (1 NIC + 16 daemons for NFS, 2 NICs for web) apply only when
+    the caller does not supply those fields.
+
+    ``flush_interval_s`` is the NFS flush-daemon period (``None`` disables
+    it); ``connections_per_client`` sizes the web client pool.  Both are
+    ignored by the other kind.
+    """
+    if isinstance(mode, str):
+        mode = ServerMode(mode)
+    if kind == "nfs":
+        defaults = dict(_NFS_DEFAULTS)
+        defaults.update(config_overrides)
+        cfg = TestbedConfig(mode=mode, **defaults)
+        return NfsTestbed(cfg, image_capacity_blocks=image_capacity_blocks,
+                          seed=seed, flush_interval_s=flush_interval_s)
+    if kind == "web":
+        defaults = dict(_WEB_DEFAULTS)
+        defaults.update(config_overrides)
+        cfg = TestbedConfig(mode=mode, **defaults)
+        return WebTestbed(cfg, image_capacity_blocks=image_capacity_blocks,
+                          seed=seed,
+                          connections_per_client=connections_per_client)
+    raise ValueError(f"unknown testbed kind {kind!r} (want 'nfs' or 'web')")

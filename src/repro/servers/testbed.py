@@ -29,6 +29,7 @@ from ..net.network import Network
 from ..nfs.client import NfsClient
 from ..nfs.protocol import FileHandle
 from ..nfs.server import FlushDaemon, NfsServer
+from ..obs.metrics import MetricsRegistry
 from ..sim.engine import Simulator
 from ..sim.process import Process, start
 from ..sim.stats import MeterSet
@@ -53,7 +54,11 @@ class BaseTestbed:
         self.config = config
         self.seed = seed
         self.sim = Simulator()
+        self.sim.trace.process_name = (
+            f"{type(self).__name__}[{config.mode.label}]")
         self.network = Network(self.sim)
+        #: testbed-wide declared metrics (request latency/bytes live here).
+        self.metrics = MetricsRegistry()
         costs = config.costs
 
         # Storage server.
@@ -88,7 +93,8 @@ class BaseTestbed:
             self.server_host, self.server_ips[0],
             Endpoint("storage-0", ISCSI_PORT), discipline=discipline)
         self.cache = BufferCache(config.fs_cache_bytes,
-                                 counters=self.server_host.counters)
+                                 counters=self.server_host.counters,
+                                 trace=self.sim.trace)
         self.vfs = VFS(self.server_host, self.image, self.cache,
                        self.initiator, discipline,
                        readahead_blocks=config.readahead_blocks)
@@ -112,7 +118,7 @@ class BaseTestbed:
             self.client_hosts.append(host)
 
         # Meters.
-        self.meters = MeterSet(self.sim)
+        self.meters = MeterSet(self.sim, registry=self.metrics)
         self.meters.watch("server_cpu", self.server_host.cpu)
         self.meters.watch("storage_cpu", self.storage_host.cpu)
         for i, nic in enumerate(self.server_host.nics):
@@ -139,7 +145,7 @@ class BaseTestbed:
         """Zero all meters and counters (end-of-warmup boundary)."""
         self.meters.reset()
         for host in self.all_hosts():
-            host.counters.reset()
+            host.counters.registry.reset()
 
     def warmup_then_measure(self, warmup_s: float, measure_s: float) -> None:
         """Run the standard two-phase measurement window."""
@@ -152,6 +158,28 @@ class BaseTestbed:
 
     def storage_cpu_utilization(self) -> float:
         return self.meters.utilization("storage_cpu")
+
+    def metrics_snapshot(self) -> dict:
+        """Machine-readable state of every metric in the testbed.
+
+        Combines the testbed-level registry (request latency/bytes,
+        throughput) with each host's private registry (copy accounting,
+        cache hit/miss, per-protocol service-time histograms) so an
+        experiment can dump one JSON-serialisable report per data point.
+        """
+        return {
+            "mode": self.config.mode.value,
+            "sim_time_s": self.sim.now,
+            "throughput": {
+                "ops_per_s": self.meters.throughput.ops_per_second(),
+                "bytes_per_s": self.meters.throughput.bytes_per_second(),
+            },
+            "latency": self.meters.request_latency.summary(),
+            "utilization": self.meters.utilizations(),
+            "metrics": self.metrics.snapshot(),
+            "hosts": {host.name: host.counters.registry.snapshot()
+                      for host in self.all_hosts()},
+        }
 
 
 class NfsTestbed(BaseTestbed):

@@ -20,6 +20,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Iterable, Optional
 
+from ..obs.trace import TraceBus, active_session
+
 #: Multiply a nanosecond quantity by this to obtain simulated seconds.
 NS = 1e-9
 
@@ -119,6 +121,12 @@ class Simulator:
         self._heap: list[tuple[float, int, Callable, tuple]] = []
         self._seq = 0
         self._running = False
+        #: Structured trace bus (disabled, and nearly free, by default).
+        #: An active :func:`repro.obs.trace.tracing` session adopts it.
+        self.trace = TraceBus(clock=self)
+        session = active_session()
+        if session is not None:
+            session.adopt(self.trace)
 
     # -- scheduling ------------------------------------------------------
 
@@ -156,6 +164,12 @@ class Simulator:
             return False
         when, _seq, fn, args = heapq.heappop(self._heap)
         self.now = when
+        trace = self.trace
+        if trace.engine_events:
+            # Per-dispatch tracing is opt-in: enormous volume, but it makes
+            # the engine's interleaving visible in chrome://tracing.
+            trace.emit("engine.dispatch", cat="engine", t=when, seq=_seq,
+                       fn=getattr(fn, "__qualname__", repr(fn)))
         fn(*args)
         return True
 

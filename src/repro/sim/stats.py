@@ -4,74 +4,65 @@ Experiments follow a warmup/measure protocol: run the workload, call
 :meth:`MeterSet.reset` at the end of warmup, read meters at the end of the
 measurement window.  Everything is pull-based; nothing samples on a timer,
 so the meters add no events to the simulation.
+
+The counter substrate now lives in :mod:`repro.obs.metrics`: a
+:class:`MeterSet` owns a :class:`~repro.obs.metrics.MetricsRegistry` of
+declared counters and latency/size histograms, and :class:`CounterSet`
+remains only as a thin deprecated shim over a registry so existing
+``counters["nfs.drc_hit"]`` call sites keep working.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..obs.metrics import Counter, Histogram, MetricsRegistry
 
 if TYPE_CHECKING:
     from .engine import Simulator
 
 
-class Counter:
-    """A named monotonically increasing counter with reset snapshots."""
-
-    __slots__ = ("name", "_total", "_mark")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._total = 0.0
-        self._mark = 0.0
-
-    def add(self, amount: float = 1.0) -> None:
-        self._total += amount
-
-    def reset(self) -> None:
-        self._mark = self._total
-
-    @property
-    def total(self) -> float:
-        """Grand total since construction."""
-        return self._total
-
-    @property
-    def value(self) -> float:
-        """Total since the last :meth:`reset`."""
-        return self._total - self._mark
-
-    def __repr__(self) -> str:
-        return f"Counter({self.name}={self.value})"
-
-
 class CounterSet:
-    """A lazily populated namespace of counters."""
+    """A lazily populated namespace of counters.
 
-    def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
+    .. deprecated::
+        Thin shim over :class:`~repro.obs.metrics.MetricsRegistry`;
+        new code should declare metrics on a registry directly
+        (``registry.counter("nfs.read.bytes", unit="bytes")``).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     def __getitem__(self, name: str) -> Counter:
-        counter = self._counters.get(name)
-        if counter is None:
-            counter = self._counters[name] = Counter(name)
-        return counter
+        return self.registry.counter(name)
 
     def add(self, name: str, amount: float = 1.0) -> None:
-        self[name].add(amount)
+        # Hot path (every copy, checksum and protocol op lands here):
+        # bypass the declare-or-get call for the common re-access case.
+        metric = self.registry._metrics.get(name)
+        if metric is None or metric.__class__ is not Counter:
+            metric = self.registry.counter(name)
+        metric._total += amount
 
     def reset(self) -> None:
-        for counter in self._counters.values():
+        for counter in self.registry.counters():
             counter.reset()
 
     def snapshot(self) -> Dict[str, float]:
         """Values since last reset, for every counter ever touched."""
-        return {name: c.value for name, c in sorted(self._counters.items())}
+        return {c.name: c.value
+                for c in sorted(self.registry.counters(),
+                                key=lambda c: c.name)}
 
     def totals(self) -> Dict[str, float]:
-        return {name: c.total for name, c in sorted(self._counters.items())}
+        return {c.name: c.total
+                for c in sorted(self.registry.counters(),
+                                key=lambda c: c.name)}
 
     def __contains__(self, name: str) -> bool:
-        return name in self._counters
+        metric = self.registry.get(name)
+        return metric is not None and metric.__class__ is Counter
 
 
 class ThroughputMeter:
@@ -196,13 +187,26 @@ class LatencyStats:
 
 
 class MeterSet:
-    """Bundle of all meters an experiment resets at the warmup boundary."""
+    """Bundle of all meters an experiment resets at the warmup boundary.
 
-    def __init__(self, sim: "Simulator") -> None:
+    Owns a :class:`~repro.obs.metrics.MetricsRegistry`; besides the
+    legacy pull-based meters it declares per-request latency and size
+    histograms (``request.latency``, ``request.bytes``) that workloads
+    feed through :meth:`record_request`, giving every experiment
+    p50/p95/p99 percentiles over the measurement window for free.
+    """
+
+    def __init__(self, sim: "Simulator",
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
-        self.counters = CounterSet()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.counters = CounterSet(self.registry)
         self.throughput = ThroughputMeter(sim)
         self.latency = LatencyStats()
+        self.request_latency: Histogram = self.registry.histogram(
+            "request.latency", unit="s")
+        self.request_bytes: Histogram = self.registry.histogram(
+            "request.bytes", unit="bytes")
         self._utilizations: Dict[str, UtilizationWindow] = {}
 
     def watch(self, name: str, resource) -> UtilizationWindow:
@@ -213,8 +217,26 @@ class MeterSet:
     def utilization(self, name: str) -> float:
         return self._utilizations[name].utilization()
 
+    def utilizations(self) -> Dict[str, float]:
+        """Current utilization of every watched resource, by name."""
+        return {name: window.utilization()
+                for name, window in self._utilizations.items()}
+
+    def record_latency(self, latency_s: float) -> None:
+        """Record one request's latency (streaming stats + histogram)."""
+        self.latency.record(latency_s)
+        self.request_latency.record(latency_s)
+
+    def record_request(self, latency_s: float, nbytes: int,
+                       ops: int = 1) -> None:
+        """Record one completed request: latency, size, and throughput."""
+        self.record_latency(latency_s)
+        if nbytes:
+            self.request_bytes.record(nbytes)
+        self.throughput.record(nbytes, ops)
+
     def reset(self) -> None:
-        self.counters.reset()
+        self.registry.reset()
         self.throughput.reset()
         self.latency.reset()
         for window in self._utilizations.values():

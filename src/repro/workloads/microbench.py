@@ -74,8 +74,8 @@ class SequentialReadWorkload:
         while True:
             issued_at = self.testbed.sim.now
             dgram = yield from client.read(fh, offset, self.request_size)
-            meters.latency.record(self.testbed.sim.now - issued_at)
-            meters.throughput.record(dgram.message.count)
+            meters.record_request(self.testbed.sim.now - issued_at,
+                                  dgram.message.count)
             offset += self.request_size
             if offset + self.request_size > self.file_size:
                 offset = 0
@@ -128,5 +128,5 @@ class AllHitReadWorkload:
             issued_at = self.testbed.sim.now
             dgram = yield from client.read(
                 self.fh, slot * self.request_size, self.request_size)
-            meters.latency.record(self.testbed.sim.now - issued_at)
-            meters.throughput.record(dgram.message.count)
+            meters.record_request(self.testbed.sim.now - issued_at,
+                                  dgram.message.count)

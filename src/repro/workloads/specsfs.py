@@ -125,4 +125,4 @@ class SpecSfsWorkload:
                 else:
                     yield from client.call(proc, fh=fh)
                 meters.throughput.record(0)
-            meters.latency.record(self.testbed.sim.now - issued_at)
+            meters.record_latency(self.testbed.sim.now - issued_at)

@@ -87,8 +87,8 @@ class SpecWebWorkload:
             path = self.paths[self.sampler.sample()]
             issued_at = self.testbed.sim.now
             response, _dgram = yield from client.get(path)
-            meters.latency.record(self.testbed.sim.now - issued_at)
-            meters.throughput.record(response.content_length)
+            meters.record_request(self.testbed.sim.now - issued_at,
+                                  response.content_length)
 
 
 class AllHitWebWorkload:
@@ -129,5 +129,5 @@ class AllHitWebWorkload:
             path = self.paths[rng.randrange(len(self.paths))]
             issued_at = self.testbed.sim.now
             response, _dgram = yield from client.get(path)
-            meters.latency.record(self.testbed.sim.now - issued_at)
-            meters.throughput.record(response.content_length)
+            meters.record_request(self.testbed.sim.now - issued_at,
+                                  response.content_length)

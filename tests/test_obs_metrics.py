@@ -1,0 +1,187 @@
+"""Unit tests for the declared-metric registry (repro.obs.metrics)."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+class TestRegistryDeclaration:
+    def test_declare_or_get_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("nfs.read.bytes", unit="bytes")
+        b = reg.counter("nfs.read.bytes")
+        assert a is b
+        assert a.unit == "bytes"
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricError):
+            reg.histogram("x")
+        with pytest.raises(MetricError):
+            reg.gauge("x")
+
+    def test_unit_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x", unit="bytes")
+        with pytest.raises(MetricError):
+            reg.counter("x", unit="ops")
+
+    def test_unit_can_be_filled_in_later(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        assert c.unit == ""
+        c2 = reg.counter("x", unit="bytes")
+        assert c2 is c
+        assert c.unit == "bytes"
+
+    def test_contains_len_get(self):
+        reg = MetricsRegistry()
+        assert "x" not in reg
+        reg.counter("x")
+        reg.histogram("y")
+        assert "x" in reg and "y" in reg
+        assert len(reg) == 2
+        assert isinstance(reg.get("y"), Histogram)
+        assert reg.get("missing") is None
+
+    def test_iterators_filter_by_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("c1")
+        reg.counter("c2")
+        reg.gauge("g")
+        reg.histogram("h")
+        assert {m.name for m in reg.counters()} == {"c1", "c2"}
+        assert {m.name for m in reg.gauges()} == {"g"}
+        assert {m.name for m in reg.histograms()} == {"h"}
+
+
+class TestCounter:
+    def test_value_vs_total_across_reset(self):
+        c = Counter("c")
+        c.add()
+        c.add(4)
+        assert c.value == 5 and c.total == 5
+        c.reset()
+        assert c.value == 0 and c.total == 5
+        c.add(2)
+        assert c.value == 2 and c.total == 7
+
+
+class TestGauge:
+    def test_set_add_and_reset_keeps_level(self):
+        g = Gauge("g")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+        g.reset()  # a level, not a rate: reset is a no-op
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_negative_sample_raises(self):
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.record(-1.0)
+
+    def test_empty_summary_is_zeroed(self):
+        h = Histogram("h", unit="s")
+        s = h.summary()
+        assert s["count"] == 0
+        assert s["p50"] == 0.0 and s["mean"] == 0.0
+        assert s["unit"] == "s"
+
+    def test_exact_min_max_mean(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.record(v)
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.mean == 2.5
+
+    def test_percentiles_within_bucket_error(self):
+        # Uniform 1..1000: percentile estimates must land within the
+        # log-linear bucket error (1/SUBBUCKETS) of the exact answer.
+        h = Histogram("h")
+        for v in range(1, 1001):
+            h.record(float(v))
+        tol = 2.0 / Histogram.SUBBUCKETS  # 2 bucket-widths of slack
+        for fraction, exact in ((0.50, 500), (0.95, 950), (0.99, 990)):
+            estimate = h.percentile(fraction)
+            assert abs(estimate - exact) / exact <= tol, \
+                f"p{int(fraction * 100)}: {estimate} vs {exact}"
+
+    def test_percentiles_cover_wide_dynamic_range(self):
+        h = Histogram("h")
+        for exp in range(-20, 20):
+            h.record(math.ldexp(1.0, exp))
+        assert h.percentile(0.0) > 0
+        assert h.percentile(1.0) <= h.max
+        assert h.p50 <= h.p95 <= h.p99 <= h.max
+
+    def test_zeros_counted_and_dominate_low_percentiles(self):
+        h = Histogram("h")
+        for _ in range(90):
+            h.record(0.0)
+        for _ in range(10):
+            h.record(5.0)
+        assert h.count == 100
+        assert h.p50 == 0.0
+        assert h.percentile(0.99) > 0.0
+
+    def test_single_sample_percentiles_are_exact(self):
+        h = Histogram("h")
+        h.record(0.125)
+        assert h.p50 == 0.125
+        assert h.p99 == 0.125
+
+    def test_fraction_out_of_range_raises(self):
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_reset_clears_samples(self):
+        h = Histogram("h")
+        h.record(3.0)
+        h.reset()
+        assert h.count == 0
+        assert h.p50 == 0.0
+        assert h.max == 0.0
+
+
+class TestRegistryLifecycle:
+    def test_reset_semantics_per_kind(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        g = reg.gauge("g")
+        h = reg.histogram("h")
+        c.add(5)
+        g.set(3)
+        h.record(1.0)
+        reg.reset()
+        assert c.value == 0 and c.total == 5
+        assert g.value == 3
+        assert h.count == 0
+
+    def test_snapshot_structure(self):
+        reg = MetricsRegistry()
+        reg.counter("b.ops").add(2)
+        reg.counter("a.ops").add(1)
+        reg.gauge("used", unit="bytes").set(42)
+        reg.histogram("lat", unit="s").record(0.5)
+        snap = reg.snapshot()
+        assert list(snap) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"]) == ["a.ops", "b.ops"]  # sorted
+        assert snap["gauges"]["used"] == 42
+        hist = snap["histograms"]["lat"]
+        assert hist["count"] == 1 and hist["unit"] == "s"
+        assert set(hist) == {"count", "mean", "min", "max",
+                             "p50", "p95", "p99", "unit"}
