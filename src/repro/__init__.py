@@ -26,6 +26,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "check",
     "copymodel",
     "core",
     "experiments",

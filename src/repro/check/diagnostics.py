@@ -1,0 +1,86 @@
+"""Lint diagnostics and the ``# check: ignore[...]`` suppression syntax.
+
+A diagnostic pins one rule violation to a file/line/column.  Suppression
+is per *line*, per *rule*: a comment of the form ::
+
+    payload.materialize()  # check: ignore[copy-discipline] -- header scan
+
+silences exactly the named rule(s) on that line (comma-separate several
+ids; ``*`` silences every rule).  Everything after ``--`` is a free-form
+justification; the linter keeps suppressed diagnostics and reports their
+count so a suppression is an auditable annotation, never a deletion.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Any, Dict, Set
+
+#: ``# check: ignore[rule-a, rule-b] -- optional reason``
+_SUPPRESS_RE = re.compile(
+    r"#\s*check:\s*ignore\[([A-Za-z0-9_\-*,\s]+)\]")
+
+
+@dataclass
+class Diagnostic:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def format(self) -> str:
+        flag = " (suppressed)" if self.suppressed else ""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"[{self.rule}] {self.message}{flag}")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+
+@dataclass
+class Suppressions:
+    """Per-line rule suppressions parsed from one file's comments."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def covers(self, rule: str, line: int) -> bool:
+        rules = self.by_line.get(line)
+        if not rules:
+            return False
+        return "*" in rules or rule in rules
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract ``# check: ignore[...]`` comments, mapped to their line."""
+    out = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",")
+                     if part.strip()}
+            line = tok.start[0]
+            out.by_line.setdefault(line, set()).update(rules)
+    except tokenize.TokenError:
+        # A file the tokenizer rejects will already fail ast.parse; the
+        # linter reports that as a syntax diagnostic instead.
+        pass
+    return out

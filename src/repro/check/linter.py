@@ -1,0 +1,127 @@
+"""ncache-lint driver: walk files, run rules, apply suppressions.
+
+The driver is filesystem-only (no imports of linted code).  Suppressed
+diagnostics are kept — with ``suppressed=True`` — so reports can show
+how many annotations the tree carries; only *unsuppressed* diagnostics
+make :func:`LintResult.ok` false.
+"""
+
+from __future__ import annotations
+
+import ast
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .diagnostics import Diagnostic, parse_suppressions
+from .rules import Rule, all_rules, make_context
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    files_checked: int = 0
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if not d.suppressed]
+
+    @property
+    def suppressed(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+    def by_rule(self) -> Dict[str, List[Diagnostic]]:
+        out: Dict[str, List[Diagnostic]] = {}
+        for diag in self.diagnostics:
+            out.setdefault(diag.rule, []).append(diag)
+        return out
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+    seen = set()
+    unique = []
+    for path in out:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def lint_file(path: Path, rules: Optional[Sequence[Rule]] = None
+              ) -> List[Diagnostic]:
+    """Run every rule over one file, marking suppressed diagnostics."""
+    rules = list(rules) if rules is not None else all_rules()
+    source = path.read_text(encoding="utf-8")
+    display = str(path)
+    posix = path.resolve().as_posix()
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return [Diagnostic(rule="syntax", path=display,
+                           line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+                           message=f"syntax error: {exc.msg}")]
+    suppressions = parse_suppressions(source)
+    ctx = make_context(posix, display, source, tree)
+    diagnostics: List[Diagnostic] = []
+    for rule in rules:
+        for diag in rule.check(ctx):
+            diag.suppressed = suppressions.covers(diag.rule, diag.line)
+            diagnostics.append(diag)
+    diagnostics.sort(key=lambda d: (d.line, d.col, d.rule))
+    return diagnostics
+
+
+def changed_files(root: Path) -> Optional[List[Path]]:
+    """Python files modified per ``git status`` (None if git fails)."""
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=root,
+            capture_output=True, text=True, timeout=30, check=True)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    out: List[Path] = []
+    for line in proc.stdout.splitlines():
+        if len(line) < 4:
+            continue
+        name = line[3:].split(" -> ")[-1].strip().strip('"')
+        if name.endswith(".py"):
+            candidate = root / name
+            if candidate.exists():
+                out.append(candidate)
+    return out
+
+
+def lint_paths(paths: Iterable[Path],
+               rules: Optional[Sequence[Rule]] = None,
+               only: Optional[Iterable[Path]] = None) -> LintResult:
+    """Lint every python file under ``paths``.
+
+    ``only`` restricts the run to files in that set (the ``--changed``
+    mode); directories in ``paths`` still define the lintable universe so
+    changed files outside it (e.g. tests) are not linted by accident.
+    """
+    result = LintResult()
+    restrict = None
+    if only is not None:
+        restrict = {p.resolve() for p in only}
+    for path in iter_python_files(list(paths)):
+        if restrict is not None and path.resolve() not in restrict:
+            continue
+        result.files_checked += 1
+        result.diagnostics.extend(lint_file(path, rules))
+    return result

@@ -1,0 +1,385 @@
+"""ncache-lint rules: AST checks for the repo's paper invariants.
+
+Each rule is a registered class with an ``id`` (used in diagnostics and
+``# check: ignore[...]`` comments), a one-line ``summary``, and the
+``invariant`` it guards — the latter is printed by ``--list-rules`` and
+quoted in DESIGN.md so every rule is traceable to the paper.
+
+Rules work on plain ``ast`` trees; they never import the code they lint,
+so the linter can run on broken or dependency-missing files.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Type
+
+from .diagnostics import Diagnostic
+from . import vocabulary as vocab
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may look at for one file."""
+
+    posix: str                 # POSIX form of the file path (for matching)
+    display: str               # path as reported in diagnostics
+    source: str
+    tree: ast.Module
+    type_checking_lines: Set[int] = field(default_factory=set)
+
+    def diag(self, rule: str, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(rule=rule, path=self.display,
+                          line=getattr(node, "lineno", 1),
+                          col=getattr(node, "col_offset", 0) + 1,
+                          message=message)
+
+
+class Rule:
+    """Base class; subclasses register themselves via :func:`register`."""
+
+    id: str = ""
+    summary: str = ""
+    invariant: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of the rule to the registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    RULES[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id."""
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def type_checking_lines(tree: ast.Module) -> Set[int]:
+    """Line numbers inside ``if TYPE_CHECKING:`` blocks (imports there
+    are type-only and exempt from runtime import rules)."""
+    lines: Set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = dotted_name(node.test)
+        if test in ("TYPE_CHECKING", "typing.TYPE_CHECKING"):
+            for child in node.body:
+                for sub in ast.walk(child):
+                    lineno = getattr(sub, "lineno", None)
+                    if lineno is not None:
+                        lines.add(lineno)
+    return lines
+
+
+def make_context(posix: str, display: str, source: str,
+                 tree: ast.Module) -> LintContext:
+    """Build a :class:`LintContext` with the derived line sets filled."""
+    return LintContext(posix=posix, display=display, source=source,
+                       tree=tree,
+                       type_checking_lines=type_checking_lines(tree))
+
+
+def _own_statements(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's body without descending into nested defs."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_generator(func: ast.AST) -> bool:
+    return any(isinstance(node, (ast.Yield, ast.YieldFrom))
+               for node in _own_statements(func))
+
+
+# ---------------------------------------------------------------------------
+# no-wallclock
+# ---------------------------------------------------------------------------
+
+@register
+class NoWallclock(Rule):
+    """Forbid host-clock reads; simulated time is ``Simulator.now``."""
+
+    id = "no-wallclock"
+    summary = "no wall-clock time inside the simulation"
+    invariant = ("determinism: simulated time is Simulator.now; reading "
+                 "the host clock makes runs unreproducible "
+                 "(sim/engine.py determinism rules)")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if vocab.path_matches(ctx.posix, vocab.WALLCLOCK_ALLOWED_PATHS):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in ("time", "datetime") \
+                            and node.lineno not in ctx.type_checking_lines:
+                        yield ctx.diag(
+                            self.id, node,
+                            f"import of {alias.name!r}: simulated code "
+                            f"must use Simulator.now, not the host clock")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] in (
+                        "time", "datetime") \
+                        and node.lineno not in ctx.type_checking_lines:
+                    yield ctx.diag(
+                        self.id, node,
+                        f"import from {node.module!r}: simulated code "
+                        f"must use Simulator.now, not the host clock")
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in vocab.WALLCLOCK_CALLS:
+                    yield ctx.diag(
+                        self.id, node,
+                        f"wall-clock read {name}(): use the simulator's "
+                        f"clock (sim.now) instead")
+
+
+# ---------------------------------------------------------------------------
+# no-global-random
+# ---------------------------------------------------------------------------
+
+@register
+class NoGlobalRandom(Rule):
+    """Forbid global random state; streams come from ``rng.substream``."""
+
+    id = "no-global-random"
+    summary = "all randomness flows through repro.sim.rng"
+    invariant = ("determinism: every stochastic component takes an "
+                 "injected rng.substream(seed, ...) handle; global "
+                 "random state makes event order depend on import order "
+                 "(sim/rng.py)")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if vocab.path_matches(ctx.posix, vocab.RANDOM_ALLOWED_PATHS):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in ("random", "numpy.random") \
+                            and node.lineno not in ctx.type_checking_lines:
+                        yield ctx.diag(
+                            self.id, node,
+                            f"import of {alias.name!r}: take an injected "
+                            f"random.Random from repro.sim.rng.substream "
+                            f"(type-only imports go under TYPE_CHECKING)")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in ("random", "numpy.random") \
+                        and node.lineno not in ctx.type_checking_lines:
+                    yield ctx.diag(
+                        self.id, node,
+                        f"import from {node.module!r}: take an injected "
+                        f"random.Random from repro.sim.rng.substream")
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                if name.startswith("random.") \
+                        or name.startswith("numpy.random.") \
+                        or name.startswith("np.random."):
+                    yield ctx.diag(
+                        self.id, node,
+                        f"global-random call {name}(): derive a stream "
+                        f"via repro.sim.rng.substream and pass it in")
+
+
+# ---------------------------------------------------------------------------
+# copy-discipline
+# ---------------------------------------------------------------------------
+
+_MATERIALIZE_METHODS = ("physical_copy", "materialize", "tobytes")
+
+
+@register
+class CopyDiscipline(Rule):
+    """Physical payload materialization only inside the copy model."""
+
+    id = "copy-discipline"
+    summary = "physical payload copies only inside the copy model"
+    invariant = ("§3.1: regular data moves by logical (key-sized) "
+                 "copying; physical materialization is legal only in "
+                 "repro.copymodel / the Payload substrate and declared "
+                 "metadata paths — everything else must route through "
+                 "CopyAccountant.move()")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if vocab.path_matches(ctx.posix, vocab.COPY_MODEL_PATHS):
+            return
+        if vocab.path_matches(ctx.posix,
+                              tuple(vocab.COPY_METADATA_PATHS)):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in _MATERIALIZE_METHODS:
+                receiver = dotted_name(func.value)
+                if receiver is not None and receiver.split(".")[-1] in (
+                        "acct", "accountant"):
+                    # acct.physical_copy(...) IS the CopyAccountant
+                    # route: the charged, counted, traced move.
+                    continue
+                yield ctx.diag(
+                    self.id, node,
+                    f".{func.attr}() materializes payload bytes outside "
+                    f"the copy model; move data via CopyAccountant.move() "
+                    f"or annotate a metadata path with a reason")
+            elif isinstance(func, ast.Name) and func.id == "bytes" \
+                    and len(node.args) == 1 \
+                    and not isinstance(node.args[0], ast.Constant):
+                yield ctx.diag(
+                    self.id, node,
+                    "bytes(...) materialization outside the copy model; "
+                    "payloads move logically (keys), not by value")
+
+
+# ---------------------------------------------------------------------------
+# trace-naming
+# ---------------------------------------------------------------------------
+
+@register
+class TraceNaming(Rule):
+    """Trace/metric names follow ``subsystem.verb[.qualifier]``."""
+
+    id = "trace-naming"
+    summary = "trace/metric names match subsystem.verb[.qualifier]"
+    invariant = ("observability contract (PR 1): every TraceBus event "
+                 "and registry metric is named subsystem.verb[.qualifier] "
+                 "with the subsystem declared in "
+                 "repro.check.vocabulary.SUBSYSTEMS")
+
+    _methods = vocab.TRACE_EMIT_METHODS | vocab.METRIC_DECL_METHODS
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) \
+                    or func.attr not in self._methods or not node.args:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) \
+                    and isinstance(first.value, str):
+                yield from self._check_literal(ctx, first, func.attr,
+                                               first.value)
+            elif isinstance(first, ast.JoinedStr):
+                yield from self._check_fstring(ctx, first, func.attr)
+
+    def _check_literal(self, ctx: LintContext, node: ast.AST,
+                       method: str, name: str) -> Iterator[Diagnostic]:
+        if not vocab.NAME_RE.match(name):
+            yield ctx.diag(
+                self.id, node,
+                f"{method}({name!r}): name must match "
+                f"subsystem.verb[.qualifier] (lowercase, dot-separated)")
+            return
+        subsystem = name.split(".", 1)[0]
+        if subsystem not in vocab.SUBSYSTEMS:
+            yield ctx.diag(
+                self.id, node,
+                f"{method}({name!r}): unknown subsystem {subsystem!r}; "
+                f"declare it in repro.check.vocabulary.SUBSYSTEMS")
+
+    def _check_fstring(self, ctx: LintContext, node: ast.JoinedStr,
+                       method: str) -> Iterator[Diagnostic]:
+        first = node.values[0] if node.values else None
+        prefix = first.value if isinstance(first, ast.Constant) \
+            and isinstance(first.value, str) else ""
+        if "." not in prefix:
+            yield ctx.diag(
+                self.id, node,
+                f"{method}(f\"...\"): dynamic name needs a static "
+                f"'subsystem.' prefix so the vocabulary stays checkable")
+            return
+        subsystem = prefix.split(".", 1)[0]
+        if subsystem not in vocab.SUBSYSTEMS:
+            yield ctx.diag(
+                self.id, node,
+                f"{method}(f\"{prefix}...\"): unknown subsystem "
+                f"{subsystem!r}; declare it in "
+                f"repro.check.vocabulary.SUBSYSTEMS")
+
+
+# ---------------------------------------------------------------------------
+# engine-discipline
+# ---------------------------------------------------------------------------
+
+@register
+class EngineDiscipline(Rule):
+    """No blocking I/O or event-loop re-entry in engine callbacks."""
+
+    id = "engine-discipline"
+    summary = "no blocking I/O or re-entrant run inside engine callbacks"
+    invariant = ("run-to-completion: engine processes (generator "
+                 "functions yielding Events) must not block the host "
+                 "(real I/O, sleeps) or re-enter the event loop "
+                 "(sim.run/step), which would deadlock or reorder the "
+                 "deterministic heap (sim/engine.py)")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if not _is_generator(func):
+                continue
+            for node in _own_statements(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                if name in vocab.BLOCKING_CALLS:
+                    yield ctx.diag(
+                        self.id, node,
+                        f"blocking call {name}() inside engine process "
+                        f"{func.name!r}: model the delay with "
+                        f"sim.timeout()/cpu.execute_ns() instead")
+                elif self._is_engine_reentry(name):
+                    yield ctx.diag(
+                        self.id, node,
+                        f"re-entrant event-loop call {name}() inside "
+                        f"engine process {func.name!r}: yield an Event "
+                        f"instead of recursing into the scheduler")
+
+    @staticmethod
+    def _is_engine_reentry(name: str) -> bool:
+        if name in ("run_until_complete", "run_until"):
+            return True
+        parts = name.split(".")
+        return (len(parts) >= 2 and parts[-1] in ("run", "step")
+                and parts[-2] in ("sim", "simulator"))

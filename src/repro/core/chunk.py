@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Union
 
+from ..check import sanitizer as _sanitizer
 from ..net.buffer import NetBuffer, Payload, concat
 from .keys import FhoKey, LbnKey
 
@@ -20,7 +21,8 @@ ChunkKey = Union[LbnKey, FhoKey]
 class Chunk:
     """One fixed-size cached block as a list of network buffers."""
 
-    __slots__ = ("key", "buffers", "dirty", "pins", "lbn_hint", "_payload")
+    __slots__ = ("key", "buffers", "dirty", "pins", "lbn_hint", "_payload",
+                 "__weakref__")
 
     def __init__(self, key: ChunkKey, buffers: List[NetBuffer],
                  dirty: bool = False,
@@ -62,6 +64,9 @@ class Chunk:
         return self.pins > 0
 
     def pin(self) -> None:
+        san = _sanitizer.active()
+        if san is not None:
+            san.chunk_used(self, "pin")
         self.pins += 1
 
     def unpin(self) -> None:

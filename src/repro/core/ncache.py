@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, List, Optional
 
+from ..check import sanitizer as _sanitizer
 from ..copymodel.accounting import RequestTrace
 from ..net.buffer import (
     BufferChain,
@@ -196,7 +197,14 @@ class NCacheModule:
             raise SimulationError(
                 f"cannot write back dirty chunk {chunk!r}: "
                 f"{'no writeback path' if self.writeback is None else 'no LBN'}")
-        yield from self.writeback(lbn_key.lbn, chunk.payload().physical_copy())
+        san = _sanitizer.active()
+        if san is not None:
+            san.chunk_written_back(chunk)
+        # The flush hands the storage target a fresh copy of the bytes —
+        # a modelled physical move on the writeback path, charged by the
+        # initiator's accountant.
+        payload = chunk.payload().physical_copy()  # check: ignore[copy-discipline] -- writeback data plane, charged by initiator.write
+        yield from self.writeback(lbn_key.lbn, payload)
 
     # ------------------------------------------------------------------
     # TX: remap and substitute departing packets
@@ -253,6 +261,9 @@ class NCacheModule:
         (§1).  Framing (packet count, wire bytes) is recomputed.
         """
         costs = self.host.costs
+        san = _sanitizer.active()
+        if san is not None:
+            san.reply_substituted(dgram)
         leaves = coalesce_keyed(leaves)
         new_buffers: List[NetBuffer] = []
         pending_plain: List[Payload] = []  # header/metadata bytes to merge
@@ -286,11 +297,15 @@ class NCacheModule:
             if chunk is None:
                 self.counters.add("ncache.substitute_miss")
                 misses += 1
+                if san is not None:
+                    san.substitute_miss(leaf.fho_key, leaf.lbn_key)
                 if self.strict:
                     raise SimulationError(
                         f"substitution miss for {leaf!r}")
                 pending_plain.append(JunkPayload(leaf.length))
                 continue
+            if san is not None:
+                san.chunk_used(chunk, "substitute")
             cached = buffers_for_range(chunk.buffers, leaf.base_offset,
                                        leaf.length)
             if not self.inherit_checksums:
@@ -372,6 +387,10 @@ class NCacheModule:
                                 lbn=lbn, nblocks=nblocks)
             return None
         self.counters.add("ncache.l2_hit")
+        san = _sanitizer.active()
+        if san is not None:
+            for chunk in chunks:
+                san.chunk_used(chunk, "l2_serve")
         if self.trace.enabled:
             self.trace.emit("ncache.l2_hit", cat="ncache",
                             tid=self.trace.tid_for(self.host.name),

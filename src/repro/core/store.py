@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional
 
+from ..check import sanitizer as _sanitizer
 from ..obs.trace import TraceBus
 from ..sim.stats import CounterSet
 from .chunk import Chunk
@@ -157,6 +158,9 @@ class NCacheStore:
         if self.trace is not None and self.trace.enabled:
             self.trace.emit("ncache.evict", cat="ncache",
                             key=str(chunk.key), dirty=chunk.dirty)
+        san = _sanitizer.active()
+        if san is not None:
+            san.chunk_evicted(chunk)
         for listener in self.reclaim_listeners:
             listener(chunk)
 
@@ -182,6 +186,10 @@ class NCacheStore:
         if existing is not None and existing is not chunk:
             self._remove(existing)
             self.counters.add("ncache.overwrite")
+        san = _sanitizer.active()
+        if san is not None:
+            # After the stale removal, so the key reads as live again.
+            san.chunk_cached(chunk)
 
     def drop(self, chunk: Chunk) -> None:
         """Explicitly remove a chunk (invalidation)."""
@@ -211,4 +219,7 @@ class NCacheStore:
             self._remove(stale)
             self.counters.add("ncache.remap_overwrite")
         self.counters.add("ncache.remap")
+        san = _sanitizer.active()
+        if san is not None:
+            san.chunk_remapped(chunk, fho_key)
         return chunk

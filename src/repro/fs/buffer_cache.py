@@ -19,6 +19,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..check import sanitizer as _sanitizer
 from ..net.buffer import Payload
 from ..obs.trace import TraceBus
 from ..sim.stats import CounterSet
@@ -158,6 +159,9 @@ class BufferCache:
                 and lbn not in self._entries:
             raise RuntimeError(
                 "insert without room; call make_room() and flush victims")
+        san = _sanitizer.active()
+        if san is not None:
+            san.fs_page_inserted(lbn, payload)
         entry = CacheEntry(lbn=lbn, payload=payload, dirty=dirty,
                            is_metadata=is_metadata)
         self._entries[lbn] = entry

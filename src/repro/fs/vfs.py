@@ -164,7 +164,8 @@ class VFS:
         yield from self.host.acct.physical_copy(
             payload.length, "cache_fill", trace, is_metadata=True)
         yield from self._evict_for(1)
-        self.cache.insert(lbn, payload.physical_copy(), is_metadata=True)
+        self.cache.insert(lbn, payload.physical_copy(),  # check: ignore[copy-discipline] -- metadata cache fill (§3.3), charged just above
+                          is_metadata=True)
 
     # ------------------------------------------------------------------
     # File lifecycle

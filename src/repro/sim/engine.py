@@ -20,6 +20,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Iterable, Optional
 
+from ..check import sanitizer as _sanitizer
 from ..obs.trace import TraceBus, active_session
 
 #: Multiply a nanosecond quantity by this to obtain simulated seconds.
@@ -187,6 +188,12 @@ class Simulator:
             if until is None:
                 while self.step():
                     pass
+                san = _sanitizer.active()
+                if san is not None:
+                    # Simulation end: sweep for lifecycle leaks (dirty
+                    # chunks evicted but never written back, chunks
+                    # pinned forever).
+                    san.sim_ended(self)
                 return
             while self._heap and self._heap[0][0] <= until:
                 self.step()

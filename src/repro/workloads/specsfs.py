@@ -15,8 +15,12 @@ Throughput is reported in operations/second over all ops, as SPECsfs does.
 
 from __future__ import annotations
 
-import random
-from typing import Any, Generator, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Generator, List, Sequence, Tuple
+
+if TYPE_CHECKING:
+    # Type-only: every worker takes an injected stream derived via
+    # repro.sim.rng.substream; the stdlib module is never called here.
+    import random
 
 from ..net.buffer import VirtualPayload
 from ..nfs.client import NfsClient

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.check import sanitizer as _sanitizer
 from repro.copymodel import CopyDiscipline
 from repro.fs import (
     BufferCache,
@@ -17,6 +18,27 @@ from repro.iscsi import IscsiInitiator, IscsiTarget
 from repro.net import Endpoint, Host, Network
 from repro.servers import ServerMode, TestbedConfig
 from repro.sim import Simulator
+
+
+@pytest.fixture(autouse=True)
+def _buffer_sanitizer():
+    """Run every test under the buffer-lifecycle sanitizer.
+
+    Hard violations (double substitution, FS/NCache aliasing) are always
+    bugs and fail the test.  Soft kinds (leak, use-after-evict) are
+    tolerated here because modelled races and fragmentary unit setups can
+    legitimately produce them; dedicated tests assert them explicitly.
+    """
+    if _sanitizer.active() is not None:
+        # REPRO_SANITIZE=1 (or an enclosing sanitize()) is already managing
+        # a sanitizer; don't stack another one on top of it.
+        yield
+        return
+    with _sanitizer.sanitize(strict=False) as san:
+        yield san
+    hard = san.hard_violations()
+    assert not hard, "buffer sanitizer: " + "; ".join(
+        v.format() for v in hard)
 
 
 @pytest.fixture
