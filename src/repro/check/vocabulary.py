@@ -92,8 +92,13 @@ RANDOM_ALLOWED_PATHS: Tuple[str, ...] = (
     "repro/sim/rng.py",
 )
 
-#: Modules allowed to read wall-clock time (none inside the simulation).
-WALLCLOCK_ALLOWED_PATHS: Tuple[str, ...] = ()
+#: Modules allowed to read wall-clock time (none inside the simulation;
+#: the experiment runner and the perf harness time the *host*, which is
+#: their whole point).
+WALLCLOCK_ALLOWED_PATHS: Tuple[str, ...] = (
+    "repro/experiments/parallel.py",
+    "repro/perf/",
+)
 
 #: Wall-clock reading calls (dotted names as written at the call site).
 WALLCLOCK_CALLS: FrozenSet[str] = frozenset({

@@ -104,6 +104,28 @@ class CopyAccountant:
         #: whole distribution, not just the total.
         self._copy_bytes = self.counters.registry.histogram(
             "copy.bytes", unit="bytes")
+        # Hot path: every data movement and protocol op lands in one of a
+        # small set of counters, so Counter objects are memoized here and
+        # bumped directly instead of going through the registry's name
+        # lookup (and an f-string) on each call.  The memo is lazy on
+        # purpose: a counter must not appear in snapshots (or answer to
+        # ``in``) before the first real increment.
+        self._memo: dict = {}
+        self._cat_physical: dict = {}
+        self._cat_logical: dict = {}
+        self._cat_compute: dict = {}
+
+    def _counter(self, name: str):
+        counter = self._memo.get(name)
+        if counter is None:
+            counter = self._memo[name] = self.counters[name]
+        return counter
+
+    def _category_counter(self, memo: dict, prefix: str, category: str):
+        counter = memo.get(category)
+        if counter is None:
+            counter = memo[category] = self.counters[prefix + category]
+        return counter
 
     # -- data movement -----------------------------------------------------
 
@@ -111,9 +133,10 @@ class CopyAccountant:
                       trace: Optional[RequestTrace] = None,
                       is_metadata: bool = False) -> Generator[Event, Any, None]:
         """memcpy ``nbytes``; charged per byte."""
-        self.counters.add("copies.physical")
-        self.counters.add("copies.physical_bytes", nbytes)
-        self.counters.add(f"copies.physical.{category}")
+        self._counter("copies.physical")._total += 1
+        self._counter("copies.physical_bytes")._total += nbytes
+        self._category_counter(self._cat_physical, "copies.physical.",
+                               category)._total += 1
         self._copy_bytes.record(nbytes)
         if trace is not None:
             trace.records.append(CopyRecord(CopyKind.PHYSICAL, category,
@@ -124,8 +147,9 @@ class CopyAccountant:
                      trace: Optional[RequestTrace] = None,
                      nbytes: int = 0) -> Generator[Event, Any, None]:
         """Copy ``nkeys`` keys instead of the payload (NCache §3.1)."""
-        self.counters.add("copies.logical", nkeys)
-        self.counters.add(f"copies.logical.{category}", nkeys)
+        self._counter("copies.logical")._total += nkeys
+        self._category_counter(self._cat_logical, "copies.logical.",
+                               category)._total += nkeys
         if trace is not None:
             trace.records.append(CopyRecord(CopyKind.LOGICAL, category,
                                             nbytes, False, self.owner))
@@ -145,7 +169,7 @@ class CopyAccountant:
         elif discipline is CopyDiscipline.LOGICAL:
             yield from self.logical_copy(category, nkeys, trace, nbytes)
         else:  # ZERO: statement deleted, nothing moves, nothing charged
-            self.counters.add("copies.elided")
+            self._counter("copies.elided")._total += 1
             return
             yield  # pragma: no cover - keeps this a generator function
 
@@ -154,15 +178,16 @@ class CopyAccountant:
     def compute(self, nanoseconds: float, category: str = "compute"
                 ) -> Generator[Event, Any, None]:
         """Charge a generic CPU cost."""
-        self.counters.add(f"cpu.{category}", nanoseconds)
+        self._category_counter(self._cat_compute, "cpu.",
+                               category)._total += nanoseconds
         yield from self.cpu.execute_ns(nanoseconds)
 
     def checksum(self, nbytes: int, cached: bool = False
                  ) -> Generator[Event, Any, None]:
         """Software checksum cost; free when a cached sum is inherited."""
         if cached:
-            self.counters.add("checksum.inherited")
+            self._counter("checksum.inherited")._total += 1
             return
-        self.counters.add("checksum.computed")
-        self.counters.add("checksum.bytes", nbytes)
+        self._counter("checksum.computed")._total += 1
+        self._counter("checksum.bytes")._total += nbytes
         yield from self.cpu.execute_ns(self.costs.checksum_ns(nbytes))

@@ -62,9 +62,15 @@ class KeyedPayload(PlaceholderPayload):
     def __init__(self, length: int, lbn_key: Optional[LbnKey] = None,
                  fho_key: Optional[FhoKey] = None,
                  base_offset: int = 0) -> None:
-        super().__init__(length)
+        if length < 0:
+            raise ValueError("negative length")
         if lbn_key is None and fho_key is None:
             raise ValueError("KeyedPayload needs at least one key")
+        # Base attributes set inline rather than through the two-deep
+        # super().__init__ chain: placeholders are created on every
+        # slice along the transport path, and the call overhead shows.
+        self._checksum = None
+        self.length = length
         self.lbn_key = lbn_key
         self.fho_key = fho_key
         self.base_offset = base_offset

@@ -5,15 +5,20 @@ Usage::
     python -m repro.experiments                 # quick mode, all
     python -m repro.experiments --full          # paper-scale windows
     python -m repro.experiments figure5 table2  # a subset
+    python -m repro.experiments --workers 4     # fan grid points out
     python -m repro.experiments --out results/  # also write .txt files
     python -m repro.experiments figure4 --trace-out fig4.trace.json
 
 Each experiment prints its rendered table; with ``--out`` the tables are
 also written one file per experiment, plus a ``<name>.metrics.json``
 report holding every data point's metrics snapshot.  ``--trace-out``
-enables structured tracing for the whole run and writes the combined
+captures a structured trace of every data point and writes the combined
 trace — Chrome trace format by default (open in Perfetto or
 ``chrome://tracing``), JSON-lines when the path ends in ``.jsonl``.
+
+``--workers N`` runs grid points on a process pool.  Simulated results
+are identical for every worker count (see DESIGN.md §7); only the
+wall-clock changes.
 """
 
 from __future__ import annotations
@@ -22,17 +27,22 @@ import argparse
 import sys
 from pathlib import Path
 
-from ..obs.trace import start_tracing, stop_tracing
 from . import ablations, figure4, figure5, figure6, figure7, table1, table2
+from .parallel import n_trace_events, write_merged_chrome, write_merged_jsonl
 
 RUNNERS = {
-    "table1": lambda quick: [table1.run(quick)],
-    "table2": lambda quick: [table2.run(quick)],
-    "figure4": lambda quick: [figure4.run(quick)],
-    "figure5": lambda quick: [figure5.run(quick)],
-    "figure6": lambda quick: [figure6.run_working_set(quick),
-                              figure6.run_allhit(quick)],
-    "figure7": lambda quick: [figure7.run(quick)],
+    "table1": lambda quick, workers, sink, stats: [table1.run(quick)],
+    "table2": lambda quick, workers, sink, stats:
+        [table2.run(quick, workers, sink, stats)],
+    "figure4": lambda quick, workers, sink, stats:
+        [figure4.run(quick, workers, sink, stats)],
+    "figure5": lambda quick, workers, sink, stats:
+        [figure5.run(quick, workers, sink, stats)],
+    "figure6": lambda quick, workers, sink, stats:
+        [figure6.run_working_set(quick, workers, sink, stats),
+         figure6.run_allhit(quick, workers, sink, stats)],
+    "figure7": lambda quick, workers, sink, stats:
+        [figure7.run(quick, workers, sink, stats)],
     "ablations": ablations.run,
 }
 
@@ -47,6 +57,9 @@ def main(argv=None) -> int:
                         help="subset to run (default: all)")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale windows instead of quick mode")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="process-pool size for grid points "
+                             "(default: 1, serial)")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory to write rendered tables into")
     parser.add_argument("--trace-out", type=Path, default=None,
@@ -58,10 +71,11 @@ def main(argv=None) -> int:
     quick = not args.full
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
-    session = start_tracing() if args.trace_out is not None else None
+    trace_sink = [] if args.trace_out is not None else None
     try:
         for name in names:
-            for result in RUNNERS[name](quick):
+            for result in RUNNERS[name](quick, args.workers,
+                                        trace_sink, None):
                 print(result.render())
                 print()
                 if args.out is not None:
@@ -70,13 +84,13 @@ def main(argv=None) -> int:
                     metrics_path = args.out / f"{result.name}.metrics.json"
                     metrics_path.write_text(result.to_json() + "\n")
     finally:
-        if session is not None:
-            stop_tracing()
+        if trace_sink is not None:
             if args.trace_out.suffix == ".jsonl":
-                session.write_jsonl(args.trace_out)
+                write_merged_jsonl(args.trace_out, trace_sink)
             else:
-                session.write_chrome(args.trace_out)
-            print(f"trace: {args.trace_out} ({session.n_events()} events)",
+                write_merged_chrome(args.trace_out, trace_sink)
+            print(f"trace: {args.trace_out} "
+                  f"({n_trace_events(trace_sink)} events)",
                   file=sys.stderr)
     return 0
 

@@ -309,12 +309,31 @@ def run_network_ready_disk(quick: bool = True) -> ExperimentResult:
     return result
 
 
-def run(quick: bool = True) -> list:
+#: The ablation entry points, in report order.  Each is one grid unit:
+#: ablations parallelize per *ablation* rather than per cell because
+#: several of them derive notes from cross-cell comparisons.
+ABLATIONS = ("run_checksum", "run_fs_cache_size", "run_remap",
+             "run_capacity", "run_memcpy_cost", "run_daemon_count",
+             "run_loss", "run_network_ready_disk")
+
+
+def grid(quick: bool = True) -> list:
+    """One picklable spec per ablation (each returns an ExperimentResult)."""
+    from .parallel import RunSpec
+    return [RunSpec(fn=f"repro.experiments.ablations:{fn_name}",
+                    args=(quick,), capture_reports=False,
+                    label=f"ablations/{fn_name[4:]}")
+            for fn_name in ABLATIONS]
+
+
+def run(quick: bool = True, workers: int = 1,
+        trace_sink: list = None, stats: list = None) -> list:
     """All ablations, A1 through A8."""
-    return [run_checksum(quick), run_fs_cache_size(quick),
-            run_remap(quick), run_capacity(quick),
-            run_memcpy_cost(quick), run_daemon_count(quick),
-            run_loss(quick), run_network_ready_disk(quick)]
+    from .parallel import drain, run_specs
+    return [rr.value
+            for rr in drain(run_specs(grid(quick), workers=workers,
+                                      trace=trace_sink is not None),
+                            trace_sink, stats)]
 
 
 if __name__ == "__main__":

@@ -11,10 +11,13 @@ server configurations.  Expected shape (§5.4):
 
 from __future__ import annotations
 
+from typing import List
+
 from ..analysis.tables import ExperimentResult, pct_gain
 from ..servers.config import ServerMode
 from ..workloads.microbench import SequentialReadWorkload
 from .common import ALL_MODES, NFS_REQUEST_SIZES, nfs_testbed, protocol
+from .parallel import RunSpec, drain, run_specs
 
 GB = 1 << 30
 
@@ -48,17 +51,28 @@ def measure_point(mode: ServerMode, request_size: int, quick: bool = True,
     }
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def grid(quick: bool = True) -> List[RunSpec]:
+    """The sweep as independent, picklable grid points."""
+    return [RunSpec(fn="repro.experiments.figure4:measure_point",
+                    args=(mode, request_size, quick),
+                    label=f"figure4/{mode.value}/{request_size}")
+            for mode in ALL_MODES
+            for request_size in NFS_REQUEST_SIZES]
+
+
+def run(quick: bool = True, workers: int = 1,
+        trace_sink: list = None, stats: list = None) -> ExperimentResult:
     """The full Figure 4 sweep."""
     result = ExperimentResult(
         name="figure4",
         title="Figure 4: NFS all-miss — throughput (a) and CPU (b)",
         columns=["mode", "request_kb", "throughput_mbps",
                  "server_cpu_pct", "storage_cpu_pct"])
-    for mode in ALL_MODES:
-        for request_size in NFS_REQUEST_SIZES:
-            result.add_row(**measure_point(mode, request_size, quick,
-                                           reports=result.reports))
+    for rr in drain(run_specs(grid(quick), workers=workers,
+                              trace=trace_sink is not None),
+                    trace_sink, stats):
+        result.add_row(**rr.value)
+        result.reports.update(rr.report)
     for request_kb in (16, 32):
         orig = result.value("throughput_mbps", mode="original",
                             request_kb=request_kb)

@@ -12,11 +12,14 @@ server's cache.
 
 from __future__ import annotations
 
+from typing import List
+
 from ..analysis.tables import ExperimentResult, pct_gain
 from ..servers.config import ServerMode
 from ..servers.testbed import run_until_complete
 from ..workloads.microbench import AllHitReadWorkload
 from .common import ALL_MODES, NFS_REQUEST_SIZES, nfs_testbed, protocol
+from .parallel import RunSpec, drain, run_specs
 
 
 def measure_point(mode: ServerMode, request_size: int, n_nics: int,
@@ -48,7 +51,18 @@ def measure_point(mode: ServerMode, request_size: int, n_nics: int,
     }
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def grid(quick: bool = True) -> List[RunSpec]:
+    """The sweep as independent, picklable grid points."""
+    return [RunSpec(fn="repro.experiments.figure5:measure_point",
+                    args=(mode, request_size, n_nics, quick),
+                    label=f"figure5/{mode.value}/{n_nics}nic/{request_size}")
+            for n_nics in (1, 2)
+            for mode in ALL_MODES
+            for request_size in NFS_REQUEST_SIZES]
+
+
+def run(quick: bool = True, workers: int = 1,
+        trace_sink: list = None, stats: list = None) -> ExperimentResult:
     """The full Figure 5 sweep, both panels."""
     result = ExperimentResult(
         name="figure5",
@@ -56,12 +70,11 @@ def run(quick: bool = True) -> ExperimentResult:
               "throughput with 2 NICs (b)",
         columns=["mode", "nics", "request_kb", "throughput_mbps",
                  "server_cpu_pct"])
-    for n_nics in (1, 2):
-        for mode in ALL_MODES:
-            for request_size in NFS_REQUEST_SIZES:
-                result.add_row(
-                    **measure_point(mode, request_size, n_nics, quick,
-                                    reports=result.reports))
+    for rr in drain(run_specs(grid(quick), workers=workers,
+                              trace=trace_sink is not None),
+                    trace_sink, stats):
+        result.add_row(**rr.value)
+        result.reports.update(rr.report)
     orig = result.value("throughput_mbps", mode="original", nics=2,
                         request_kb=32)
     ncache = result.value("throughput_mbps", mode="NCache", nics=2,

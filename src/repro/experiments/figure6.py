@@ -12,6 +12,8 @@ Paper (§5.5):
 
 from __future__ import annotations
 
+from typing import List
+
 from ..analysis.tables import ExperimentResult, pct_gain
 from ..servers.config import MB, ServerMode
 from ..servers.testbed import run_until_complete
@@ -24,6 +26,7 @@ from .common import (
     warm_caches,
     web_testbed,
 )
+from .parallel import RunSpec, drain, run_specs
 
 #: Paper working-set sizes (MB) and the quick-mode scale divisor.
 FULL_WORKING_SETS_MB = (250, 500, 650, 750, 900)
@@ -93,7 +96,27 @@ def measure_allhit(mode: ServerMode, request_size: int,
     }
 
 
-def run_working_set(quick: bool = True) -> ExperimentResult:
+def grid_working_set(quick: bool = True) -> List[RunSpec]:
+    """The Figure 6(a) sweep as independent grid points."""
+    return [RunSpec(fn="repro.experiments.figure6:measure_working_set",
+                    args=(mode, ws, quick),
+                    label=f"figure6a/{mode.value}/{ws}mb")
+            for mode in ALL_MODES
+            for ws in FULL_WORKING_SETS_MB]
+
+
+def grid_allhit(quick: bool = True) -> List[RunSpec]:
+    """The Figure 6(b) sweep as independent grid points."""
+    return [RunSpec(fn="repro.experiments.figure6:measure_allhit",
+                    args=(mode, request_size, quick),
+                    label=f"figure6b/{mode.value}/allhit/{request_size}")
+            for mode in ALL_MODES
+            for request_size in WEB_REQUEST_SIZES]
+
+
+def run_working_set(quick: bool = True, workers: int = 1,
+                    trace_sink: list = None,
+                    stats: list = None) -> ExperimentResult:
     """The Figure 6(a) sweep."""
     result = ExperimentResult(
         name="figure6a",
@@ -103,10 +126,11 @@ def run_working_set(quick: bool = True) -> ExperimentResult:
     if quick:
         result.add_note(f"quick mode: memory geometry scaled down by "
                         f"{QUICK_SCALE}x (ratios preserved)")
-    for mode in ALL_MODES:
-        for ws in FULL_WORKING_SETS_MB:
-            result.add_row(**measure_working_set(mode, ws, quick,
-                                                 reports=result.reports))
+    for rr in drain(run_specs(grid_working_set(quick), workers=workers,
+                              trace=trace_sink is not None),
+                    trace_sink, stats):
+        result.add_row(**rr.value)
+        result.reports.update(rr.report)
     for ws in (500, 750):
         orig = result.value("throughput_mbps", mode="original",
                             working_set_mb=ws)
@@ -118,16 +142,19 @@ def run_working_set(quick: bool = True) -> ExperimentResult:
     return result
 
 
-def run_allhit(quick: bool = True) -> ExperimentResult:
+def run_allhit(quick: bool = True, workers: int = 1,
+               trace_sink: list = None,
+               stats: list = None) -> ExperimentResult:
     """The Figure 6(b) sweep."""
     result = ExperimentResult(
         name="figure6b",
         title="Figure 6(b): kHTTPd all-hit, request-size sweep",
         columns=["mode", "request_kb", "throughput_mbps", "ops_per_sec"])
-    for mode in ALL_MODES:
-        for request_size in WEB_REQUEST_SIZES:
-            result.add_row(**measure_allhit(mode, request_size, quick,
-                                            reports=result.reports))
+    for rr in drain(run_specs(grid_allhit(quick), workers=workers,
+                              trace=trace_sink is not None),
+                    trace_sink, stats):
+        result.add_row(**rr.value)
+        result.reports.update(rr.report)
     for request_kb in (16, 128):
         orig = result.value("throughput_mbps", mode="original",
                             request_kb=request_kb)
@@ -140,10 +167,11 @@ def run_allhit(quick: bool = True) -> ExperimentResult:
     return result
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, workers: int = 1,
+        trace_sink: list = None, stats: list = None) -> ExperimentResult:
     """Both panels merged (rows carry a ``panel`` column)."""
-    a = run_working_set(quick)
-    b = run_allhit(quick)
+    a = run_working_set(quick, workers, trace_sink, stats)
+    b = run_allhit(quick, workers, trace_sink, stats)
     merged = ExperimentResult(
         name="figure6",
         title="Figure 6: kHTTPd throughput",

@@ -9,10 +9,13 @@ small-request processing, which dominate SPECsfs.
 
 from __future__ import annotations
 
+from typing import List
+
 from ..analysis.tables import ExperimentResult, pct_gain
 from ..servers.config import ServerMode
 from ..workloads.specsfs import SpecSfsWorkload
 from .common import ALL_MODES, nfs_testbed, protocol, warm_caches
+from .parallel import RunSpec, drain, run_specs
 
 GB = 1 << 30
 
@@ -52,17 +55,28 @@ def measure_point(mode: ServerMode, pct_regular: int,
     }
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def grid(quick: bool = True) -> List[RunSpec]:
+    """The sweep as independent, picklable grid points."""
+    return [RunSpec(fn="repro.experiments.figure7:measure_point",
+                    args=(mode, pct, quick),
+                    label=f"figure7/{mode.value}/{pct}pct")
+            for mode in ALL_MODES
+            for pct in REGULAR_PERCENTAGES]
+
+
+def run(quick: bool = True, workers: int = 1,
+        trace_sink: list = None, stats: list = None) -> ExperimentResult:
     """The full Figure 7 sweep."""
     result = ExperimentResult(
         name="figure7",
         title="Figure 7: SPECsfs-like ops/s vs % regular-data requests",
         columns=["mode", "pct_regular", "ops_per_sec", "throughput_mbps",
                  "server_cpu_pct"])
-    for mode in ALL_MODES:
-        for pct in REGULAR_PERCENTAGES:
-            result.add_row(**measure_point(mode, pct, quick,
-                                           reports=result.reports))
+    for rr in drain(run_specs(grid(quick), workers=workers,
+                              trace=trace_sink is not None),
+                    trace_sink, stats):
+        result.add_row(**rr.value)
+        result.reports.update(rr.report)
     for pct, paper in ((30, 16.3), (75, 18.6)):
         orig = result.value("ops_per_sec", mode="original", pct_regular=pct)
         ncache = result.value("ops_per_sec", mode="NCache", pct_regular=pct)

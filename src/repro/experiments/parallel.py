@@ -1,0 +1,224 @@
+"""Process-pool experiment runner.
+
+Every figure/table sweep is a grid of independent data points: one
+testbed, one workload, one measurement window, no shared state.  This
+module fans those points out over a :class:`~concurrent.futures.\
+ProcessPoolExecutor` and merges the results **deterministically**: the
+merged rows, metrics reports and trace artifacts are byte-identical for
+any ``--workers`` value, because
+
+* each point simulates in a fresh :class:`~repro.sim.engine.Simulator`
+  whose only inputs are the :class:`RunSpec` (seeds included), never
+  wall-clock or pool scheduling;
+* results are reassembled in *spec order* (``executor.map`` preserves
+  input order), so merge order does not depend on completion order;
+* trace buses are serialized per point and assigned Chrome pids by spec
+  position during the merge, not by adoption order inside a worker.
+
+``DESIGN.md`` §7 states the argument in full; the lock is
+``tests/test_parallel_determinism.py``.
+
+Wall-clock use: this module intentionally measures host time
+(``time.perf_counter``) — it times the *runner*, never the simulation.
+It is allow-listed in :data:`repro.check.vocabulary.WALLCLOCK_ALLOWED_PATHS`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..obs import trace as _trace
+from ..sim import engine as _engine
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One picklable unit of experiment work.
+
+    ``fn`` is a ``"module:callable"`` string rather than a function
+    object so specs stay picklable and printable; the callable is
+    resolved in the worker process.  When ``capture_reports`` is true
+    the callable must accept a ``reports`` keyword (the convention all
+    ``measure_*`` functions follow) and the dict it fills is carried
+    back on the :class:`RunResult`.
+    """
+
+    fn: str
+    args: tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+    capture_reports: bool = True
+
+
+@dataclass
+class RunResult:
+    """What came back from one :class:`RunSpec`.
+
+    ``value`` is whatever the spec's callable returned (a row dict for
+    ``measure_*`` functions, an ``ExperimentResult`` for whole-ablation
+    specs).  ``wall_s`` and ``sim_events`` describe the *worker's* cost
+    of producing it; ``trace`` is a list of serialized trace buses when
+    tracing was requested, else ``None``.
+    """
+
+    label: str
+    value: Any
+    report: Dict[str, Any] = field(default_factory=dict)
+    wall_s: float = 0.0
+    sim_events: int = 0
+    trace: Optional[List[Dict[str, Any]]] = None
+
+
+def _resolve(fn: str):
+    module_name, _, attr = fn.partition(":")
+    if not attr:
+        raise ValueError(f"RunSpec.fn must be 'module:callable', got {fn!r}")
+    return getattr(import_module(module_name), attr)
+
+
+def _serialize_bus(bus: "_trace.TraceBus") -> Dict[str, Any]:
+    """A TraceBus as plain data (cheap to pickle across the pool)."""
+    return {
+        "process_name": bus.process_name,
+        "tids": dict(bus._tids),
+        "events": [(ev.name, ev.cat, ev.ph, ev.ts, ev.dur, ev.tid, ev.args)
+                   for ev in bus.events],
+    }
+
+
+def _execute(spec: RunSpec, trace: bool = False) -> RunResult:
+    """Run one spec in this process (pool worker or serial caller)."""
+    fn = _resolve(spec.fn)
+    kwargs = dict(spec.kwargs)
+    reports: Dict[str, Any] = {}
+    if spec.capture_reports:
+        kwargs["reports"] = reports
+    session = _trace.start_tracing() if trace else None
+    before = _engine.dispatch_count()
+    t0 = time.perf_counter()
+    try:
+        value = fn(*spec.args, **kwargs)
+    finally:
+        if session is not None:
+            _trace.stop_tracing()
+    wall = time.perf_counter() - t0
+    return RunResult(
+        label=spec.label,
+        value=value,
+        report=reports,
+        wall_s=wall,
+        sim_events=_engine.dispatch_count() - before,
+        trace=([_serialize_bus(b) for b in session.buses]
+               if session is not None else None),
+    )
+
+
+def run_specs(specs: Sequence[RunSpec], workers: int = 1,
+              trace: bool = False) -> List[RunResult]:
+    """Run every spec; results come back in spec order.
+
+    ``workers <= 1`` runs serially in this process (no pool, easier to
+    debug/profile, identical results).  Tracing uses a per-point session
+    in whichever process runs the point, so a *global* trace session
+    must not be active around this call.
+    """
+    if trace and _trace.active_session() is not None:
+        raise RuntimeError(
+            "run_specs(trace=True) manages per-point trace sessions; "
+            "stop the global session first")
+    if workers <= 1 or len(specs) <= 1:
+        return [_execute(spec, trace) for spec in specs]
+    with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
+        return list(pool.map(_execute, specs, [trace] * len(specs)))
+
+
+def drain(results: Sequence[RunResult],
+          trace_sink: Optional[List[Dict[str, Any]]] = None,
+          stats: Optional[List[Dict[str, Any]]] = None) -> Sequence[RunResult]:
+    """Common sweep bookkeeping: route traces and perf stats to sinks.
+
+    ``trace_sink`` receives serialized buses in spec order (feed it to
+    :func:`write_merged_chrome`); ``stats`` receives one
+    ``{label, wall_s, sim_events}`` entry per point (``repro.perf``
+    aggregates these).  Returns ``results`` unchanged for chaining.
+    """
+    for rr in results:
+        if trace_sink is not None and rr.trace:
+            trace_sink.extend(rr.trace)
+        if stats is not None:
+            stats.append({"label": rr.label, "wall_s": rr.wall_s,
+                          "sim_events": rr.sim_events})
+    return results
+
+
+# -- trace merging ----------------------------------------------------------
+
+def collect_traces(results: Iterable[RunResult]) -> List[Dict[str, Any]]:
+    """All serialized buses from ``results``, in result (= spec) order."""
+    buses: List[Dict[str, Any]] = []
+    for rr in results:
+        if rr is not None and rr.trace:
+            buses.extend(rr.trace)
+    return buses
+
+
+def merged_chrome_events(buses: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Chrome-trace events with pids assigned by merge position."""
+    out: List[Dict[str, Any]] = []
+    for pid, bus in enumerate(buses, start=1):
+        out.append({"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                    "args": {"name": bus["process_name"]}})
+        for tname, tid in sorted(bus["tids"].items(), key=lambda kv: kv[1]):
+            out.append({"name": "thread_name", "ph": "M", "pid": pid,
+                        "tid": tid, "args": {"name": tname}})
+        for name, cat, ph, ts, dur, tid, args in bus["events"]:
+            ev: Dict[str, Any] = {"name": name, "cat": cat, "ph": ph,
+                                  "ts": ts * 1e6, "pid": pid, "tid": tid}
+            if dur is not None:
+                ev["dur"] = dur * 1e6
+            if args:
+                ev["args"] = args
+            out.append(ev)
+    return out
+
+
+def merged_jsonl_events(buses: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Plain JSON event objects with pids assigned by merge position."""
+    out: List[Dict[str, Any]] = []
+    for pid, bus in enumerate(buses, start=1):
+        for name, cat, ph, ts, dur, tid, args in bus["events"]:
+            ev: Dict[str, Any] = {"name": name, "cat": cat, "ph": ph,
+                                  "t": ts, "pid": pid, "tid": tid}
+            if dur is not None:
+                ev["dur"] = dur
+            if args:
+                ev["args"] = args
+            out.append(ev)
+    return out
+
+
+def write_merged_chrome(path: Any, buses: Sequence[Dict[str, Any]]) -> None:
+    """Write merged buses as one Chrome-trace / Perfetto JSON file."""
+    import json
+    document = {"traceEvents": merged_chrome_events(buses),
+                "displayTimeUnit": "ms"}
+    with open(path, "w") as fh:
+        json.dump(document, fh)
+
+
+def write_merged_jsonl(path: Any, buses: Sequence[Dict[str, Any]]) -> None:
+    """Write merged buses as JSONL (one event object per line)."""
+    import json
+    with open(path, "w") as fh:
+        for obj in merged_jsonl_events(buses):
+            fh.write(json.dumps(obj))
+            fh.write("\n")
+
+
+def n_trace_events(buses: Sequence[Dict[str, Any]]) -> int:
+    """Total captured events across serialized buses."""
+    return sum(len(bus["events"]) for bus in buses)

@@ -19,7 +19,7 @@ the ideal baseline must show zero.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from ..analysis.tables import ExperimentResult
 from ..copymodel.accounting import RequestTrace
@@ -28,6 +28,7 @@ from ..servers.config import ServerMode, TestbedConfig
 from ..servers.testbed import NfsTestbed, WebTestbed, run_until_complete
 from ..sim.process import start
 from .common import ALL_MODES
+from .parallel import RunSpec, drain, run_specs
 
 SERVER = "server"
 
@@ -99,7 +100,25 @@ PAPER_ORIGINAL = {
 }
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def grid(quick: bool = True) -> List[RunSpec]:
+    """Both trace scenarios for every mode, as independent grid points.
+
+    The trace functions take no ``reports`` dict (they return copy
+    counts, not throughput metrics), hence ``capture_reports=False``.
+    """
+    specs: List[RunSpec] = []
+    for mode in ALL_MODES:
+        specs.append(RunSpec(fn="repro.experiments.table2:nfs_copy_counts",
+                             args=(mode,), capture_reports=False,
+                             label=f"table2/nfs/{mode.value}"))
+        specs.append(RunSpec(fn="repro.experiments.table2:web_copy_counts",
+                             args=(mode,), capture_reports=False,
+                             label=f"table2/web/{mode.value}"))
+    return specs
+
+
+def run(quick: bool = True, workers: int = 1,
+        trace_sink: list = None, stats: list = None) -> ExperimentResult:
     """Table 2 (all modes) as an ExperimentResult."""
     result = ExperimentResult(
         name="table2",
@@ -107,12 +126,15 @@ def run(quick: bool = True) -> ExperimentResult:
               "(regular data, inside the server)",
         columns=["server", "mode", "read_hit", "read_miss",
                  "write_overwritten", "write_flushed"])
-    for mode in ALL_MODES:
-        nfs = nfs_copy_counts(mode)
-        result.add_row(server="NFS server", mode=mode.label, **nfs)
-        web = web_copy_counts(mode)
+    results = drain(run_specs(grid(quick), workers=workers,
+                              trace=trace_sink is not None),
+                    trace_sink, stats)
+    for mode, (nfs_rr, web_rr) in zip(ALL_MODES,
+                                      zip(results[0::2], results[1::2])):
+        result.add_row(server="NFS server", mode=mode.label, **nfs_rr.value)
         result.add_row(server="kHTTPd", mode=mode.label,
-                       write_overwritten="n/a", write_flushed="n/a", **web)
+                       write_overwritten="n/a", write_flushed="n/a",
+                       **web_rr.value)
     result.add_note("paper (original): NFS 2/3/1/2, kHTTPd 1/2; "
                     "NCache and baseline rows must be all zero")
     return result

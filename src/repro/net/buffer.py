@@ -22,6 +22,7 @@ payloads themselves are cost-free value objects.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterable, Iterator, List, Optional, Sequence
@@ -74,16 +75,18 @@ def internet_checksum(data: bytes) -> int:
 
 
 class Payload:
-    """Abstract immutable byte sequence."""
+    """Abstract immutable byte sequence.
 
-    __slots__ = ("_checksum",)
+    ``length`` is a plain attribute, not a property: payloads are
+    immutable and length is read on every slice/fragment/substitute
+    step, so the descriptor call would be pure overhead.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_checksum", "length")
+
+    def __init__(self, length: int) -> None:
         self._checksum: Optional[int] = None
-
-    @property
-    def length(self) -> int:
-        raise NotImplementedError
+        self.length = length
 
     def materialize(self) -> bytes:
         raise NotImplementedError
@@ -102,6 +105,20 @@ class Payload:
         if self._checksum is None:
             self._checksum = internet_checksum(self.materialize())
         return self._checksum
+
+    def split(self, fragment_size: int) -> List["Payload"]:
+        """Contiguous slices of at most ``fragment_size`` bytes, in order.
+
+        Payloads are immutable, so a payload that already fits is
+        returned as-is rather than sliced into an equal-content view.
+        """
+        if fragment_size <= 0:
+            raise ValueError("fragment_size must be positive")
+        total = self.length
+        if total <= fragment_size:
+            return [self]
+        return [self.slice(offset, min(fragment_size, total - offset))
+                for offset in range(0, total, fragment_size)]
 
     def physical_copy(self) -> "Payload":
         """A content-equal payload with fresh identity (a memcpy result)."""
@@ -122,12 +139,8 @@ class BytesPayload(Payload):
     __slots__ = ("data",)
 
     def __init__(self, data: bytes) -> None:
-        super().__init__()
         self.data = bytes(data)
-
-    @property
-    def length(self) -> int:
-        return len(self.data)
+        super().__init__(len(self.data))
 
     def materialize(self) -> bytes:
         return self.data
@@ -150,83 +163,150 @@ class VirtualPayload(Payload):
     content is :func:`pattern_bytes`.
     """
 
-    __slots__ = ("tag", "offset", "_length")
+    __slots__ = ("tag", "offset")
 
     def __init__(self, tag: int, offset: int, length: int) -> None:
-        super().__init__()
         if length < 0:
             raise ValueError("negative length")
+        super().__init__(length)
         self.tag = tag
         self.offset = offset
-        self._length = length
-
-    @property
-    def length(self) -> int:
-        return self._length
 
     def materialize(self) -> bytes:
-        return pattern_bytes(self.tag, self.offset, self._length)
+        return pattern_bytes(self.tag, self.offset, self.length)
 
     def slice(self, offset: int, length: int) -> Payload:
         self._check_slice(offset, length)
         return VirtualPayload(self.tag, self.offset + offset, length)
 
     def physical_copy(self) -> Payload:
-        return VirtualPayload(self.tag, self.offset, self._length)
+        return VirtualPayload(self.tag, self.offset, self.length)
 
     def __repr__(self) -> str:
-        return f"VirtualPayload(tag={self.tag:#x}, off={self.offset}, {self._length}B)"
+        return f"VirtualPayload(tag={self.tag:#x}, off={self.offset}, {self.length}B)"
 
 
 class CompositePayload(Payload):
     """Concatenation of payload fragments (gather, chunk merge)."""
 
-    __slots__ = ("parts", "_length")
+    __slots__ = ("parts", "_starts")
 
     def __init__(self, parts: Sequence[Payload]) -> None:
-        super().__init__()
         flat: List[Payload] = []
+        starts: List[int] = []
+        total = 0
         for part in parts:
             if part.length == 0:
                 continue
             if isinstance(part, CompositePayload):
-                flat.extend(part.parts)
+                for sub in part.parts:
+                    flat.append(sub)
+                    starts.append(total)
+                    total += sub.length
             else:
                 flat.append(part)
+                starts.append(total)
+                total += part.length
+        super().__init__(total)
         self.parts = tuple(flat)
-        self._length = sum(p.length for p in self.parts)
+        #: cumulative part offsets, so slice() can bisect to the first
+        #: affected part instead of scanning from the front (transport
+        #: fragmentation slices large composites hundreds of times).
+        self._starts = starts
 
-    @property
-    def length(self) -> int:
-        return self._length
+    @classmethod
+    def _from_flat(cls, parts: List[Payload]) -> "CompositePayload":
+        """Internal constructor for parts already known flat and non-empty.
+
+        slice()/split() only ever pick leaf parts (the part list is flat
+        by construction and leaf slices stay leaves), so the flattening
+        pass in ``__init__`` would be wasted work there.
+        """
+        self = object.__new__(cls)
+        self._checksum = None
+        starts: List[int] = []
+        total = 0
+        for part in parts:
+            starts.append(total)
+            total += part.length
+        self.length = total
+        self.parts = tuple(parts)
+        self._starts = starts
+        return self
 
     def materialize(self) -> bytes:
         return b"".join(p.materialize() for p in self.parts)
 
     def slice(self, offset: int, length: int) -> Payload:
         self._check_slice(offset, length)
+        if length == 0:
+            return BytesPayload(b"")
         picked: List[Payload] = []
+        parts = self.parts
+        i = bisect_right(self._starts, offset) - 1
+        cursor = offset - self._starts[i]
         remaining = length
-        cursor = offset
-        for part in self.parts:
-            if remaining == 0:
-                break
-            if cursor >= part.length:
-                cursor -= part.length
-                continue
-            take = min(part.length - cursor, remaining)
-            picked.append(part.slice(cursor, take))
+        while remaining > 0:
+            part = parts[i]
+            part_length = part.length
+            take = part_length - cursor
+            if take > remaining:
+                take = remaining
+            if cursor == 0 and take == part_length:
+                # Whole part: payloads are immutable, share the object.
+                picked.append(part)
+            else:
+                picked.append(part.slice(cursor, take))
             remaining -= take
             cursor = 0
+            i += 1
         if len(picked) == 1:
             return picked[0]
-        return CompositePayload(picked)
+        return CompositePayload._from_flat(picked)
+
+    def split(self, fragment_size: int) -> List[Payload]:
+        """Single-pass fragmentation.
+
+        The generic implementation would bisect once per fragment and
+        re-walk each fragment's parts building the sub-composite; this
+        walks the part list exactly once.  Transport fragmentation calls
+        this for every message, so the difference is measurable.
+        """
+        if fragment_size <= 0:
+            raise ValueError("fragment_size must be positive")
+        if self.length <= fragment_size:
+            return [self]
+        out: List[Payload] = []
+        picked: List[Payload] = []
+        room = fragment_size
+        for part in self.parts:
+            cursor = 0
+            part_length = part.length
+            while cursor < part_length:
+                take = part_length - cursor
+                if take > room:
+                    take = room
+                if cursor == 0 and take == part_length:
+                    picked.append(part)
+                else:
+                    picked.append(part.slice(cursor, take))
+                cursor += take
+                room -= take
+                if room == 0:
+                    out.append(picked[0] if len(picked) == 1
+                               else CompositePayload._from_flat(picked))
+                    picked = []
+                    room = fragment_size
+        if picked:
+            out.append(picked[0] if len(picked) == 1
+                       else CompositePayload._from_flat(picked))
+        return out
 
     def physical_copy(self) -> Payload:
         return CompositePayload([p.physical_copy() for p in self.parts])
 
     def __repr__(self) -> str:
-        return f"CompositePayload({len(self.parts)} parts, {self._length}B)"
+        return f"CompositePayload({len(self.parts)} parts, {self.length}B)"
 
 
 class JunkPayload(Payload):
@@ -238,30 +318,25 @@ class JunkPayload(Payload):
     contain before NCache substitutes the real data.
     """
 
-    __slots__ = ("_length",)
+    __slots__ = ()
 
     def __init__(self, length: int) -> None:
-        super().__init__()
         if length < 0:
             raise ValueError("negative length")
-        self._length = length
-
-    @property
-    def length(self) -> int:
-        return self._length
+        super().__init__(length)
 
     def materialize(self) -> bytes:
-        return b"\xAA" * self._length
+        return b"\xAA" * self.length
 
     def slice(self, offset: int, length: int) -> Payload:
         self._check_slice(offset, length)
         return JunkPayload(length)
 
     def physical_copy(self) -> Payload:
-        return JunkPayload(self._length)
+        return JunkPayload(self.length)
 
     def __repr__(self) -> str:
-        return f"JunkPayload({self._length}B)"
+        return f"JunkPayload({self.length}B)"
 
 
 class PlaceholderPayload(JunkPayload):
@@ -422,21 +497,14 @@ def chain_from_payload(payload: Payload, fragment_size: int,
     """Split ``payload`` into a chain of <=``fragment_size`` buffers.
 
     ``headers_factory(index, fragment_payload)`` may supply a header stack
-    per buffer; default is headerless fragments.
+    per buffer; default is headerless fragments.  The factory must return
+    a fresh list per call — it is stored on the buffer without copying.
     """
     if fragment_size <= 0:
         raise ValueError("fragment_size must be positive")
     chain = BufferChain()
-    offset = 0
-    index = 0
-    total = payload.length
-    while offset < total or (total == 0 and index == 0):
-        take = min(fragment_size, total - offset)
-        frag = payload.slice(offset, take)
+    fragments = [payload] if payload.length == 0 else payload.split(fragment_size)
+    for index, frag in enumerate(fragments):
         headers = headers_factory(index, frag) if headers_factory else []
-        chain.append(NetBuffer(payload=frag, headers=list(headers), flavor=flavor))
-        offset += take
-        index += 1
-        if total == 0:
-            break
+        chain.append(NetBuffer(payload=frag, headers=headers, flavor=flavor))
     return chain

@@ -228,18 +228,17 @@ class NetworkStack:
     def _build_chain(self, payload: Payload, fragment_size: int, src_ip: str,
                      src_port: int, dst: Endpoint, proto: str) -> BufferChain:
         flavor = self.host.buffer_flavor
+        # Headers are immutable once built, so one IP header object is
+        # shared by every fragment of the chain (a chain can be dozens
+        # of fragments; per-fragment construction showed in profiles).
+        ip = IPv4Header(src_ip=src_ip, dst_ip=dst.ip, protocol=proto)
+        if proto == "udp":
+            transport = UDPHeader(src_port=src_port, dst_port=dst.port)
+        else:
+            transport = TCPHeader(src_port=src_port, dst_port=dst.port)
 
         def headers_factory(index: int, frag: Payload):
-            hdrs: list = [IPv4Header(src_ip=src_ip, dst_ip=dst.ip,
-                                     protocol=proto)]
-            if index == 0:
-                if proto == "udp":
-                    hdrs.append(UDPHeader(src_port=src_port,
-                                          dst_port=dst.port))
-                else:
-                    hdrs.append(TCPHeader(src_port=src_port,
-                                          dst_port=dst.port))
-            return hdrs
+            return [ip, transport] if index == 0 else [ip]
 
         return chain_from_payload(payload, fragment_size, headers_factory,
                                   flavor=flavor)

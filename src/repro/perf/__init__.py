@@ -1,0 +1,28 @@
+"""Performance-regression harness for the experiment suite.
+
+``python -m repro.perf`` runs the quick-mode experiment grid, records
+per-experiment wall-clock, simulated-event throughput and peak RSS into
+``benchmarks/results/BENCH_<date>.json``, and (with ``--check``)
+compares the run against the most recent committed baseline with a
+tolerance band.  See :mod:`repro.perf.harness` for the mechanics.
+"""
+
+from .harness import (
+    SCHEMA_VERSION,
+    compare,
+    latest_baseline,
+    load_baseline,
+    peak_rss_kb,
+    run_grid,
+    write_record,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "compare",
+    "latest_baseline",
+    "load_baseline",
+    "peak_rss_kb",
+    "run_grid",
+    "write_record",
+]

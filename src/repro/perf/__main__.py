@@ -1,0 +1,100 @@
+"""Run the perf harness from the command line.
+
+Usage::
+
+    python -m repro.perf                       # run + record all, quick
+    python -m repro.perf figure4 figure6b      # a subset
+    python -m repro.perf --workers 4           # fan grid points out
+    python -m repro.perf --check               # fail on >20% regression
+    python -m repro.perf --check --tolerance 0.5
+    python -m repro.perf --no-record --check   # CI: compare only
+
+``--check`` compares against the newest committed ``BENCH_*.json`` of
+matching schema/mode (ignoring the record this run just wrote) and
+exits non-zero if any experiment's wall-clock regressed beyond the
+tolerance band.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import date
+from pathlib import Path
+
+from .harness import (DEFAULT_TOLERANCE, GRID, compare, latest_baseline,
+                      run_grid, write_record)
+
+RESULTS_DIR = (Path(__file__).resolve().parents[3]
+               / "benchmarks" / "results")
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Record/check experiment-suite performance.")
+    parser.add_argument("experiments", nargs="*", choices=[*GRID, []],
+                        help="subset to run (default: all)")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale windows instead of quick mode")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="process-pool size for grid points")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the latest baseline and "
+                             "fail on regression")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE, metavar="FRAC",
+                        help="allowed fractional wall-clock growth "
+                             "(default: %(default)s)")
+    parser.add_argument("--no-record", action="store_true",
+                        help="do not write a BENCH_<date>.json record")
+    parser.add_argument("--results-dir", type=Path, default=RESULTS_DIR,
+                        help="where BENCH records are written "
+                             "(default: benchmarks/results)")
+    parser.add_argument("--baseline-dir", type=Path, default=None,
+                        help="where --check looks for baselines "
+                             "(default: --results-dir)")
+    args = parser.parse_args(argv)
+
+    quick = not args.full
+    entries = run_grid(args.experiments or None, quick=quick,
+                       workers=args.workers)
+    for e in entries:
+        print(f"{e['name']:<10} {e['wall_s']:>8.3f}s "
+              f"{e['sim_events']:>10d} ev "
+              f"{e['events_per_sec']:>9d} ev/s "
+              f"rss {e['peak_rss_kb']} KB")
+
+    written = None
+    if not args.no_record:
+        written = write_record(entries, args.results_dir,
+                               date.today().isoformat(), quick=quick,
+                               workers=args.workers)
+        print(f"recorded: {written}")
+
+    if not args.check:
+        return 0
+    baseline_dir = args.baseline_dir or args.results_dir
+    found = latest_baseline(baseline_dir, quick=quick, exclude=written)
+    if found is None:
+        print("perf: no comparable baseline found; nothing to check",
+              file=sys.stderr)
+        return 0
+    base_path, baseline = found
+    print(f"baseline: {base_path.name} (workers={baseline.get('workers')})")
+    failed = False
+    for v in compare(entries, baseline, args.tolerance):
+        if v["status"] == "new":
+            print(f"{v['name']:<10} NEW    {v['wall_s']:>8.3f}s")
+            continue
+        flag = " [sim drift]" if v["drift"] else ""
+        print(f"{v['name']:<10} {v['status'].upper():<6} "
+              f"{v['wall_s']:>8.3f}s vs {v['baseline_wall_s']:>8.3f}s "
+              f"(x{v['ratio']}){flag}")
+        failed = failed or v["status"] == "fail"
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

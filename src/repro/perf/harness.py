@@ -1,0 +1,234 @@
+"""Record and compare experiment-suite performance.
+
+The harness runs each experiment's sweep through the same ``run()``
+entry points the CLI uses (so ``--workers`` fan-out is exercised), and
+folds the per-point ``{label, wall_s, sim_events}`` stats emitted by
+:func:`repro.experiments.parallel.drain` into one record per
+experiment::
+
+    {"name": "figure4", "wall_s": 9.92, "sim_events": 1203456,
+     "events_per_sec": 121300, "points": 12, "peak_rss_kb": 84212,
+     "mode": "quick", "workers": 1, "seeds": {...}}
+
+Records land in ``benchmarks/results/BENCH_<date>.json`` next to the
+rendered tables.  The comparator loads the *latest* baseline whose
+schema version and mode match (stale or foreign files in the results
+directory are skipped, not trusted) and flags any experiment whose
+wall-clock regressed beyond the tolerance band.  ``sim_events`` is a
+pure function of the simulation, so a mismatch there is reported as a
+determinism warning — it means the model changed and the wall-clock
+comparison is apples-to-oranges.
+
+Wall-clock use is the point of this module; it is allow-listed in
+:data:`repro.check.vocabulary.WALLCLOCK_ALLOWED_PATHS`.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import resource
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..experiments import (ablations, figure4, figure5, figure6, figure7,
+                           table1, table2)
+from ..sim import engine as _engine
+
+#: Bump when entry fields change incompatibly; the comparator refuses to
+#: compare across schema versions.
+SCHEMA_VERSION = 1
+
+#: Default regression tolerance: wall-clock may grow by this fraction
+#: over the baseline before the check fails.
+DEFAULT_TOLERANCE = 0.20
+
+#: Entries whose baseline wall-clock is below this are sanity checks,
+#: not measurements — a 15 ms experiment doubles on scheduler noise
+#: alone, so the comparator never fails them on ratio.
+MIN_COMPARABLE_WALL_S = 0.5
+
+_Runner = Callable[[bool, int, List[Dict[str, Any]]], Any]
+
+#: name -> runner(quick, workers, stats).  ``table1`` is a closed-form
+#: calculation with no grid, so it takes no workers/stats.
+GRID: Dict[str, _Runner] = {
+    "table1": lambda quick, workers, stats: table1.run(quick),
+    "table2": lambda quick, workers, stats:
+        table2.run(quick, workers, stats=stats),
+    "figure4": lambda quick, workers, stats:
+        figure4.run(quick, workers, stats=stats),
+    "figure5": lambda quick, workers, stats:
+        figure5.run(quick, workers, stats=stats),
+    "figure6a": lambda quick, workers, stats:
+        figure6.run_working_set(quick, workers, stats=stats),
+    "figure6b": lambda quick, workers, stats:
+        figure6.run_allhit(quick, workers, stats=stats),
+    "figure7": lambda quick, workers, stats:
+        figure7.run(quick, workers, stats=stats),
+    "ablations": lambda quick, workers, stats:
+        ablations.run(quick, workers, stats=stats),
+}
+
+
+def workload_seeds() -> Dict[str, int]:
+    """The default RNG seed of every workload generator, by inspection.
+
+    Stamped into each record so a baseline is only trusted when the
+    stochastic inputs that produced it are unchanged.
+    """
+    from ..workloads.microbench import AllHitReadWorkload, \
+        SequentialReadWorkload
+    from ..workloads.specsfs import SpecSfsWorkload
+    from ..workloads.specweb import AllHitWebWorkload, SpecWebWorkload
+    out: Dict[str, int] = {}
+    for cls in (SequentialReadWorkload, AllHitReadWorkload, SpecSfsWorkload,
+                SpecWebWorkload, AllHitWebWorkload):
+        param = inspect.signature(cls.__init__).parameters.get("seed")
+        if param is not None:  # fully deterministic workloads have no seed
+            out[cls.__name__] = int(param.default)
+    return out
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size in KB, including finished pool workers.
+
+    ``ru_maxrss`` is in kilobytes on Linux.  ``RUSAGE_CHILDREN`` covers
+    reaped ``ProcessPoolExecutor`` workers, so parallel runs report the
+    largest footprint any process reached.
+    """
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return int(max(own, children))
+
+
+def run_grid(names: Optional[Sequence[str]] = None, quick: bool = True,
+             workers: int = 1) -> List[Dict[str, Any]]:
+    """Run the named experiments (default: all) and measure each one.
+
+    Returns one entry dict per experiment, in registry order.  Per-point
+    ``sim_events`` comes from the stats sink when the sweep supports it
+    (pool workers dispatch in their own process, so the parent's
+    dispatch counter alone would undercount); experiments without a
+    stats sink fall back to the parent's counter delta.
+    """
+    chosen = list(GRID) if not names else list(names)
+    unknown = [n for n in chosen if n not in GRID]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown} "
+                       f"(choose from {list(GRID)})")
+    seeds = workload_seeds()
+    entries: List[Dict[str, Any]] = []
+    for name in chosen:
+        stats: List[Dict[str, Any]] = []
+        before = _engine.dispatch_count()
+        t0 = time.perf_counter()
+        GRID[name](quick, workers, stats)
+        wall = time.perf_counter() - t0
+        sim_events = (sum(s["sim_events"] for s in stats) if stats
+                      else _engine.dispatch_count() - before)
+        entries.append({
+            "name": name,
+            "wall_s": round(wall, 3),
+            "sim_events": sim_events,
+            "events_per_sec": int(sim_events / wall) if wall > 0 else 0,
+            "points": len(stats),
+            "peak_rss_kb": peak_rss_kb(),
+            "mode": "quick" if quick else "full",
+            "workers": workers,
+            "seeds": seeds,
+        })
+    return entries
+
+
+def write_record(entries: Sequence[Dict[str, Any]], results_dir: Path,
+                 date_stamp: str, quick: bool = True,
+                 workers: int = 1) -> Path:
+    """Write ``BENCH_<date>.json``; same-day reruns overwrite.
+
+    ``date_stamp`` is passed in (``YYYY-MM-DD``) rather than read here
+    so callers — and tests — control the filename.
+    """
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / f"BENCH_{date_stamp}.json"
+    record = {
+        "schema_version": SCHEMA_VERSION,
+        "mode": "quick" if quick else "full",
+        "workers": workers,
+        "recorded": date_stamp,
+        "entries": list(entries),
+    }
+    path.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: Path) -> Optional[Dict[str, Any]]:
+    """Parse one BENCH file; ``None`` if unreadable or wrong shape."""
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(record, dict) or "entries" not in record:
+        return None
+    return record
+
+
+def latest_baseline(results_dir: Path, quick: bool = True,
+                    exclude: Optional[Path] = None
+                    ) -> Optional[Tuple[Path, Dict[str, Any]]]:
+    """The newest comparable ``BENCH_*.json`` under ``results_dir``.
+
+    "Comparable" means: parses, carries the current schema version and
+    the requested mode.  Anything else in the directory — corrupt
+    files, old schemas, full-mode records when checking quick mode — is
+    skipped rather than compared against.  ``exclude`` omits the record
+    the caller just wrote.
+    """
+    mode = "quick" if quick else "full"
+    skip = exclude.resolve() if exclude is not None else None
+    for path in sorted(results_dir.glob("BENCH_*.json"), reverse=True):
+        if skip is not None and path.resolve() == skip:
+            continue
+        record = load_baseline(path)
+        if record is None:
+            continue
+        if record.get("schema_version") != SCHEMA_VERSION:
+            continue
+        if record.get("mode") != mode:
+            continue
+        return path, record
+    return None
+
+
+def compare(current: Sequence[Dict[str, Any]], baseline: Dict[str, Any],
+            tolerance: float = DEFAULT_TOLERANCE) -> List[Dict[str, Any]]:
+    """Verdict per current entry against the baseline record.
+
+    Each verdict carries ``status``: ``ok``, ``fail`` (wall-clock grew
+    beyond ``tolerance`` — never for entries whose baseline is under
+    :data:`MIN_COMPARABLE_WALL_S`), ``new`` (no baseline entry), plus a
+    ``drift`` flag when ``sim_events`` changed — the simulation itself
+    is different, so treat the wall-clock delta with suspicion.
+    """
+    by_name = {e["name"]: e for e in baseline.get("entries", [])}
+    verdicts: List[Dict[str, Any]] = []
+    for entry in current:
+        base = by_name.get(entry["name"])
+        if base is None:
+            verdicts.append({"name": entry["name"], "status": "new",
+                             "wall_s": entry["wall_s"], "drift": False})
+            continue
+        ratio = (entry["wall_s"] / base["wall_s"]
+                 if base["wall_s"] > 0 else float("inf"))
+        too_small = base["wall_s"] < MIN_COMPARABLE_WALL_S
+        verdicts.append({
+            "name": entry["name"],
+            "status": ("ok" if too_small or ratio <= 1.0 + tolerance
+                       else "fail"),
+            "wall_s": entry["wall_s"],
+            "baseline_wall_s": base["wall_s"],
+            "ratio": round(ratio, 3),
+            "drift": entry["sim_events"] != base.get("sim_events"),
+        })
+    return verdicts

@@ -26,6 +26,17 @@ from ..obs.trace import TraceBus, active_session
 #: Multiply a nanosecond quantity by this to obtain simulated seconds.
 NS = 1e-9
 
+#: Process-wide count of dispatched engine callbacks, updated when a
+#: :meth:`Simulator.run` completes (not per event — the run loop counts
+#: locally).  ``repro.perf`` reads this to report events/second of
+#: wall-clock; inside a pool worker it covers exactly that worker's runs.
+_dispatch_total = 0
+
+
+def dispatch_count() -> int:
+    """Total engine callbacks dispatched in this process so far."""
+    return _dispatch_total
+
 #: Multiply a microsecond quantity by this to obtain simulated seconds.
 US = 1e-6
 
@@ -135,7 +146,9 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        self.schedule_at(self.now + delay, fn, *args)
+        # Hot path: inlined schedule_at (one call frame per event matters).
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
+        self._seq += 1
 
     def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` at absolute simulated time ``when``."""
@@ -161,6 +174,7 @@ class Simulator:
 
         Returns ``False`` when the heap is empty.
         """
+        global _dispatch_total
         if not self._heap:
             return False
         when, _seq, fn, args = heapq.heappop(self._heap)
@@ -171,6 +185,7 @@ class Simulator:
             # the engine's interleaving visible in chrome://tracing.
             trace.emit("engine.dispatch", cat="engine", t=when, seq=_seq,
                        fn=getattr(fn, "__qualname__", repr(fn)))
+        _dispatch_total += 1
         fn(*args)
         return True
 
@@ -181,13 +196,28 @@ class Simulator:
         even if the last event fired earlier, so utilization windows that
         end at ``until`` are well-defined.
         """
+        global _dispatch_total
         if self._running:
             raise SimulationError("run() re-entered")
         self._running = True
+        # Hot loop: step() is inlined (the per-event method call alone is
+        # measurable) and everything invariant is bound to locals.  The
+        # dispatch order is identical to repeated step() calls.
+        heap = self._heap
+        pop = heapq.heappop
+        trace = self.trace
+        dispatched = 0
         try:
             if until is None:
-                while self.step():
-                    pass
+                while heap:
+                    when, _seq, fn, args = pop(heap)
+                    self.now = when
+                    if trace.engine_events:
+                        trace.emit("engine.dispatch", cat="engine", t=when,
+                                   seq=_seq,
+                                   fn=getattr(fn, "__qualname__", repr(fn)))
+                    dispatched += 1
+                    fn(*args)
                 san = _sanitizer.active()
                 if san is not None:
                     # Simulation end: sweep for lifecycle leaks (dirty
@@ -195,11 +225,19 @@ class Simulator:
                     # pinned forever).
                     san.sim_ended(self)
                 return
-            while self._heap and self._heap[0][0] <= until:
-                self.step()
+            while heap and heap[0][0] <= until:
+                when, _seq, fn, args = pop(heap)
+                self.now = when
+                if trace.engine_events:
+                    trace.emit("engine.dispatch", cat="engine", t=when,
+                               seq=_seq,
+                               fn=getattr(fn, "__qualname__", repr(fn)))
+                dispatched += 1
+                fn(*args)
             self.now = max(self.now, until)
         finally:
             self._running = False
+            _dispatch_total += dispatched
 
     def peek(self) -> Optional[float]:
         """Time of the next scheduled event, or ``None`` if none pending."""

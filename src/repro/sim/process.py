@@ -65,7 +65,16 @@ class Process(Event):
 
     def _wait_on(self, target: Yieldable) -> None:
         if isinstance(target, (int, float)):
-            target = self.sim.timeout(float(target))
+            # Sleep fast path: schedule the resume directly instead of
+            # materializing a timeout Event.  One heap entry and one
+            # dispatch instead of two of each — and plain delays are by
+            # far the most common yield (every CPU charge and link
+            # transmission ends up here via Resource.use).
+            try:
+                self.sim.schedule(float(target), self._resume, None, False)
+            except SimulationError as exc:  # negative delay
+                self._crash(exc)
+            return
         if not isinstance(target, Event):
             exc = SimulationError(
                 f"process {self.name!r} yielded {type(target).__name__}; "

@@ -84,11 +84,21 @@ class Resource:
             self._note_change()
             self._in_use -= 1
 
-    def use(self, hold: float) -> Generator[Event, Any, None]:
-        """Process helper: acquire, hold for ``hold`` seconds, release."""
-        yield self.acquire()
+    def use(self, hold: float) -> Generator[Any, Any, None]:
+        """Process helper: acquire, hold for ``hold`` seconds, release.
+
+        When the resource is free this skips the acquire Event entirely
+        and yields the hold as a plain delay, which the process driver
+        turns into a single heap entry — one dispatch per use instead of
+        three.  Busy-time accounting is identical on both paths.
+        """
+        if self._in_use < self.capacity and not self._waiters:
+            self._note_change()
+            self._in_use += 1
+        else:
+            yield self.acquire()
         try:
-            yield self.sim.timeout(hold)
+            yield hold
         finally:
             self.release()
 
@@ -156,7 +166,7 @@ class Link:
         self.bytes_sent += nbytes
         yield from self._resource.use(self.serialization_delay(nbytes))
         if self.latency_s:
-            yield self.sim.timeout(self.latency_s)
+            yield self.latency_s  # plain delay: no Event needed
         return self.sim.now
 
 

@@ -1,0 +1,84 @@
+"""The repro.perf comparator: baseline selection and tolerance bands.
+
+Pure-data tests — no experiments run here.  The grid itself is
+exercised by ``python -m repro.perf`` in CI's perf-smoke job and by the
+recorded ``benchmarks/results/BENCH_*.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf import (SCHEMA_VERSION, compare, latest_baseline,
+                        load_baseline, write_record)
+
+
+def entry(name, wall_s, sim_events=1000):
+    return {"name": name, "wall_s": wall_s, "sim_events": sim_events,
+            "events_per_sec": int(sim_events / wall_s), "points": 1,
+            "peak_rss_kb": 1, "mode": "quick", "workers": 1, "seeds": {}}
+
+
+def test_write_then_load_roundtrip(tmp_path):
+    path = write_record([entry("figure4", 2.0)], tmp_path, "2026-08-01")
+    assert path.name == "BENCH_2026-08-01.json"
+    record = load_baseline(path)
+    assert record["schema_version"] == SCHEMA_VERSION
+    assert record["entries"][0]["name"] == "figure4"
+
+
+def test_latest_baseline_picks_newest_and_skips_stale(tmp_path):
+    write_record([entry("figure4", 3.0)], tmp_path, "2026-08-01")
+    write_record([entry("figure4", 2.0)], tmp_path, "2026-08-02")
+    # Stale junk the comparator must ignore: corrupt JSON, an old
+    # schema, a full-mode record, a non-record JSON file.
+    (tmp_path / "BENCH_2026-08-03.json").write_text("{corrupt")
+    old = json.loads((tmp_path / "BENCH_2026-08-02.json").read_text())
+    old["schema_version"] = SCHEMA_VERSION - 1
+    (tmp_path / "BENCH_2026-08-04.json").write_text(json.dumps(old))
+    full = write_record([entry("figure4", 9.0)], tmp_path, "2026-08-05",
+                        quick=False)
+    assert full.name == "BENCH_2026-08-05.json"
+    (tmp_path / "BENCH_2026-08-06.json").write_text("[1, 2, 3]")
+
+    found = latest_baseline(tmp_path, quick=True)
+    assert found is not None
+    path, record = found
+    assert path.name == "BENCH_2026-08-02.json"
+    assert record["entries"][0]["wall_s"] == 2.0
+
+
+def test_latest_baseline_excludes_just_written(tmp_path):
+    write_record([entry("figure4", 3.0)], tmp_path, "2026-08-01")
+    mine = write_record([entry("figure4", 2.0)], tmp_path, "2026-08-02")
+    path, _ = latest_baseline(tmp_path, quick=True, exclude=mine)
+    assert path.name == "BENCH_2026-08-01.json"
+
+
+def test_latest_baseline_none_when_empty(tmp_path):
+    assert latest_baseline(tmp_path, quick=True) is None
+
+
+def test_compare_tolerance_band():
+    baseline = {"entries": [entry("figure4", 2.0), entry("figure7", 4.0)]}
+    verdicts = compare([entry("figure4", 2.3),   # +15%: inside 20%
+                        entry("figure7", 5.0),   # +25%: regression
+                        entry("table2", 0.1)],   # no baseline entry
+                       baseline, tolerance=0.20)
+    by_name = {v["name"]: v for v in verdicts}
+    assert by_name["figure4"]["status"] == "ok"
+    assert by_name["figure7"]["status"] == "fail"
+    assert by_name["table2"]["status"] == "new"
+    assert not by_name["figure4"]["drift"]
+
+
+def test_compare_never_fails_below_measurement_floor():
+    baseline = {"entries": [entry("table2", 0.015)]}
+    [verdict] = compare([entry("table2", 0.045)], baseline, tolerance=0.20)
+    assert verdict["status"] == "ok"  # 3x, but 15 ms is noise territory
+
+
+def test_compare_flags_sim_event_drift():
+    baseline = {"entries": [entry("figure4", 2.0, sim_events=1000)]}
+    [verdict] = compare([entry("figure4", 2.0, sim_events=1001)], baseline)
+    assert verdict["status"] == "ok" and verdict["drift"]
