@@ -229,9 +229,11 @@ class CopyDiscipline(Rule):
     id = "copy-discipline"
     summary = "physical payload copies only inside the copy model"
     invariant = ("§3.1: regular data moves by logical (key-sized) "
-                 "copying; physical materialization is legal only in "
-                 "repro.copymodel / the Payload substrate and declared "
-                 "metadata paths — everything else must route through "
+                 "copying — extent descriptors, never bytes; physical "
+                 "materialization is legal only in repro.copymodel (the "
+                 "materialize() verification-point chokepoint) / the "
+                 "Payload substrate and declared metadata paths — "
+                 "everything else must route through "
                  "CopyAccountant.move()")
 
     def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
@@ -255,8 +257,9 @@ class CopyDiscipline(Rule):
                 yield ctx.diag(
                     self.id, node,
                     f".{func.attr}() materializes payload bytes outside "
-                    f"the copy model; move data via CopyAccountant.move() "
-                    f"or annotate a metadata path with a reason")
+                    f"the copy model; route verification points through "
+                    f"repro.copymodel.materialize() or annotate a "
+                    f"metadata path with a reason")
             elif isinstance(func, ast.Name) and func.id == "bytes" \
                     and len(node.args) == 1 \
                     and not isinstance(node.args[0], ast.Constant):
@@ -264,6 +267,15 @@ class CopyDiscipline(Rule):
                     self.id, node,
                     "bytes(...) materialization outside the copy model; "
                     "payloads move logically (keys), not by value")
+            elif isinstance(func, ast.Name) \
+                    and func.id == "pattern_bytes":
+                # Generating extent content directly bypasses the
+                # materialize() chokepoint (and its trace event).
+                yield ctx.diag(
+                    self.id, node,
+                    "pattern_bytes(...) generates extent content outside "
+                    "the Payload substrate; go through the payload's "
+                    "materialize() via repro.copymodel.materialize()")
 
 
 # ---------------------------------------------------------------------------

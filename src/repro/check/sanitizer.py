@@ -103,6 +103,14 @@ class BufferSanitizer:
     #: sequence) its chunks never see chunk_evicted, and a fresh payload
     #: object can reuse a freed id().
     _owned_payloads: Dict[int, Any] = field(default_factory=dict)
+    #: anonymous extent memory identity -> (owner key, weakref to chunk).
+    #: Extent payloads carry a ``mem`` field naming the modelled buffer
+    #: they are a view of; two *different* view objects of one buffer
+    #: share a ``mem`` even though their id()s differ, so this catches
+    #: aliasing the id-based map cannot.  Only anonymous (negative) mems
+    #: are tracked: non-negative mems are backing-store identities
+    #: (everything reading a disk block legitimately shares them).
+    _owned_mems: Dict[int, Any] = field(default_factory=dict)
     _substituted: "weakref.WeakValueDictionary[int, Any]" = field(
         default_factory=weakref.WeakValueDictionary)
 
@@ -136,6 +144,8 @@ class BufferSanitizer:
         for buf in chunk.buffers:
             buf.meta["san.state"] = ChunkState.CACHED.value
             self._owned_payloads[id(buf.payload)] = (str(chunk.key), ref)
+            for mem in self._anon_mems(buf.payload):
+                self._owned_mems[mem] = (str(chunk.key), ref)
 
     def chunk_evicted(self, chunk: Any) -> None:
         """The store removed ``chunk`` (reclaim / overwrite / drop)."""
@@ -153,6 +163,11 @@ class BufferSanitizer:
         for buf in chunk.buffers:
             buf.meta["san.state"] = ChunkState.EVICTED.value
             self._owned_payloads.pop(id(buf.payload), None)
+            for mem in self._anon_mems(buf.payload):
+                entry = self._owned_mems.get(mem)
+                if entry is not None and (entry[1] is None
+                                          or entry[1]() in (chunk, None)):
+                    del self._owned_mems[mem]
         if chunk.dirty:
             self._pending_writeback[id(chunk)] = chunk
 
@@ -173,6 +188,8 @@ class BufferSanitizer:
         ref = record.ref if record is not None else None
         for buf in chunk.buffers:
             self._owned_payloads[id(buf.payload)] = (str(chunk.key), ref)
+            for mem in self._anon_mems(buf.payload):
+                self._owned_mems[mem] = (str(chunk.key), ref)
 
     def chunk_written_back(self, chunk: Any) -> None:
         """A dirty victim's bytes reached the writeback path."""
@@ -240,12 +257,46 @@ class BufferSanitizer:
                 f"hold keys, not the cached buffers (§3.2)",
                 owner)
             return
+        # Extent views are distinct objects over shared buffer memory;
+        # the mem identity catches aliasing the id() map cannot.
+        for mem in self._anon_mems(payload):
+            entry = self._owned_mems.get(mem)
+            if entry is None:
+                continue
+            owner, chunk_ref = entry
+            chunk = chunk_ref() if chunk_ref is not None else None
+            if chunk is None or not self._chunk_holds_mem(chunk, mem):
+                del self._owned_mems[mem]
+                continue
+            self._record(
+                ViolationKind.ALIASING,
+                f"FS buffer cache page lbn={lbn} is a view of buffer "
+                f"memory owned by live NCache chunk {owner}; pages must "
+                f"hold keys, not the cached buffers (§3.2)",
+                owner)
+            return
 
     @staticmethod
     def _payload_parts(payload: Any) -> Iterator[Any]:
         yield payload
         for part in getattr(payload, "parts", ()):
             yield part
+
+    @staticmethod
+    def _anon_mems(payload: Any) -> Iterator[int]:
+        """Anonymous (copy-produced) extent memory identities in ``payload``."""
+        for part in BufferSanitizer._payload_parts(payload):
+            mem = getattr(part, "mem", None)
+            if mem is not None and mem < 0:
+                yield mem
+
+    @staticmethod
+    def _chunk_holds_mem(chunk: Any, mem: int) -> bool:
+        for buf in chunk.buffers:
+            for part in BufferSanitizer._payload_parts(buf.payload):
+                if getattr(part, "mem", None) == mem:
+                    return True
+        return False
 
     # -- end-of-simulation sweep ------------------------------------------
 

@@ -29,6 +29,10 @@ from typing import Dict, FrozenSet, Tuple
 #: Legal ``subsystem`` prefixes for trace events and metric names.
 SUBSYSTEMS: FrozenSet[str] = frozenset({
     "bcache",     # file-system buffer cache
+    "buffer",     # extent data plane: buffer.materialize (a payload was
+                  # materialized to bytes at a verification point) and
+                  # buffer.extent_slice (substitution served a partial
+                  # view of a cached chunk)
     "checksum",   # software checksum accounting
     "copies",     # CopyAccountant movement counters
     "copy",       # per-copy size distribution

@@ -8,6 +8,7 @@ from .accounting import (
     RequestTrace,
 )
 from .costs import DEFAULT_COSTS, CostModel
+from .materialize import materialize
 
 __all__ = [
     "CopyAccountant",
@@ -17,4 +18,5 @@ __all__ = [
     "CostModel",
     "DEFAULT_COSTS",
     "RequestTrace",
+    "materialize",
 ]

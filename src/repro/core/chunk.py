@@ -5,6 +5,21 @@ each of which consists of a list of network buffers" (§3.4).  A chunk's
 buffers are the packets exactly as they arrived (iSCSI Data-In segments or
 NFS write request fragments), headers and cached checksums included — that
 is what makes zero-work retransmission and checksum inheritance possible.
+
+Chunks come in two physically-equivalent representations:
+
+* **buffer-list** (the classic constructor) — holds the arrived
+  :class:`NetBuffer` list; the merged payload is derived lazily.
+* **compact** (:meth:`Chunk.from_payload`) — holds one merged payload
+  descriptor plus the fragment size; the buffer list is derived lazily
+  (and then kept, because the stack mutates buffer checksum state — that
+  mutation *is* the checksum-inheritance mechanism).  Cache warm-up uses
+  this form: a warmed cache of a hundred thousand blocks is two payload
+  descriptors per chunk instead of ~3 buffers + ~3 payload views each,
+  which is most of the grid's peak-RSS savings.
+
+Both report identical ``length``/``footprint`` and produce identical
+buffer lists, so simulation results do not depend on the representation.
 """
 
 from __future__ import annotations
@@ -12,16 +27,30 @@ from __future__ import annotations
 from typing import List, Optional, Union
 
 from ..check import sanitizer as _sanitizer
-from ..net.buffer import NetBuffer, Payload, concat
+from ..net.buffer import (BufferFlavor, CompositePayload, ExtentPayload,
+                          NetBuffer, Payload, concat)
 from .keys import FhoKey, LbnKey
 
 ChunkKey = Union[LbnKey, FhoKey]
 
 
+def _restamp(payload: Payload, generation: int) -> Payload:
+    """``payload`` with every extent view restamped at ``generation``."""
+    if type(payload) is ExtentPayload:
+        return payload.with_generation(generation)
+    if isinstance(payload, CompositePayload):
+        parts = [_restamp(p, generation) for p in payload.parts]
+        if all(a is b for a, b in zip(parts, payload.parts)):
+            return payload
+        return concat(parts)
+    return payload
+
+
 class Chunk:
     """One fixed-size cached block as a list of network buffers."""
 
-    __slots__ = ("key", "buffers", "dirty", "pins", "lbn_hint", "_payload",
+    __slots__ = ("key", "dirty", "pins", "lbn_hint", "generation",
+                 "_payload", "_buffers", "_frag", "_flavor", "_csum_known",
                  "__weakref__")
 
     def __init__(self, key: ChunkKey, buffers: List[NetBuffer],
@@ -30,22 +59,84 @@ class Chunk:
         if not buffers:
             raise ValueError("chunk needs at least one buffer")
         self.key = key
-        self.buffers = buffers
+        self._buffers: Optional[List[NetBuffer]] = buffers
         self.dirty = dirty
         self.pins = 0
         #: For dirty FHO chunks: where this block will land on disk, used
         #: when NCache itself must write the chunk back (§3.4).
         self.lbn_hint = lbn_hint
+        #: Bumped when the backing data is overwritten or the chunk is
+        #: remapped FHO→LBN; stamped onto the chunk's extent views.
+        self.generation = 0
         self._payload: Optional[Payload] = None
+        self._frag = 0
+        self._flavor = BufferFlavor.SK_BUFF
+        self._csum_known = False
+
+    @classmethod
+    def from_payload(cls, key: ChunkKey, payload: Payload,
+                     fragment_size: int, *,
+                     flavor: BufferFlavor = BufferFlavor.SK_BUFF,
+                     csum_known: bool = True,
+                     dirty: bool = False,
+                     lbn_hint: Optional[LbnKey] = None) -> "Chunk":
+        """A compact chunk: payload descriptor + fragment size, no buffers.
+
+        Equivalent to caching ``chain_from_payload(payload, fragment_size)``
+        with every buffer's checksum state set to ``csum_known`` — the
+        buffer list is built (once, then kept) on first ``.buffers``
+        access.  Warm-started caches are built this way so that chunks
+        never touched by the workload never grow an object graph.
+        """
+        if fragment_size <= 0:
+            raise ValueError("fragment_size must be positive")
+        if payload.length == 0:
+            raise ValueError("chunk needs at least one byte")
+        self = cls.__new__(cls)
+        self.key = key
+        self._buffers = None
+        self.dirty = dirty
+        self.pins = 0
+        self.lbn_hint = lbn_hint
+        self.generation = 0
+        self._payload = payload
+        self._frag = fragment_size
+        self._flavor = flavor
+        self._csum_known = csum_known
+        return self
+
+    @property
+    def buffers(self) -> List[NetBuffer]:
+        """The chunk's network buffers (built on demand for compact chunks).
+
+        The built list is kept: the stack marks transport checksums as
+        computed directly on these buffer objects, and that state must
+        survive to the next substitution of the same chunk.
+        """
+        bufs = self._buffers
+        if bufs is None:
+            known = self._csum_known
+            flavor = self._flavor
+            bufs = [NetBuffer(payload=frag, flavor=flavor, csum_known=known)
+                    for frag in self._payload.split(self._frag)]
+            self._buffers = bufs
+        return bufs
+
+    def _n_buffers(self) -> int:
+        if self._buffers is not None:
+            return len(self._buffers)
+        return -(-self._payload.length // self._frag)
 
     @property
     def length(self) -> int:
-        return sum(b.payload_bytes for b in self.buffers)
+        if self._payload is not None:
+            return self._payload.length
+        return sum(b.payload_bytes for b in self._buffers)
 
     def payload(self) -> Payload:
         """The chunk's data as one payload (cached)."""
         if self._payload is None:
-            self._payload = concat(b.payload for b in self.buffers)
+            self._payload = concat(b.payload for b in self._buffers)
         return self._payload
 
     def footprint(self, per_buffer_overhead: int,
@@ -54,10 +145,29 @@ class Chunk:
 
         The descriptor overhead is what shrinks NCache's effective data
         capacity and produces the extra throughput drop in Figure 6(a).
+        Counted from the fragment arithmetic for compact chunks, so
+        asking for the footprint never forces the buffer list into
+        existence.
         """
         return (self.length
-                + len(self.buffers) * per_buffer_overhead
+                + self._n_buffers() * per_buffer_overhead
                 + per_chunk_overhead)
+
+    def bump_generation(self) -> int:
+        """Advance the chunk's generation, restamping its extent views.
+
+        Called on FHO→LBN remap (the block's identity changed) and by
+        backing-store overwrites.  Generations never affect content —
+        they exist so staleness is checkable without comparing bytes.
+        """
+        self.generation += 1
+        gen = self.generation
+        if self._payload is not None:
+            self._payload = _restamp(self._payload, gen)
+        if self._buffers is not None:
+            for buf in self._buffers:
+                buf.payload = _restamp(buf.payload, gen)
+        return gen
 
     @property
     def pinned(self) -> bool:
@@ -76,5 +186,5 @@ class Chunk:
 
     def __repr__(self) -> str:
         state = "dirty" if self.dirty else "clean"
-        return (f"Chunk({self.key}, {len(self.buffers)} bufs, "
+        return (f"Chunk({self.key}, {self._n_buffers()} bufs, "
                 f"{self.length}B, {state})")

@@ -308,13 +308,19 @@ class NCacheModule:
                 san.chunk_used(chunk, "substitute")
             cached = buffers_for_range(chunk.buffers, leaf.base_offset,
                                        leaf.length)
+            if (leaf.base_offset or leaf.length != chunk.length) \
+                    and self.trace.enabled:
+                self.trace.emit("buffer.extent_slice", cat="buffer",
+                                tid=self.trace.tid_for(self.host.name),
+                                offset=leaf.base_offset, length=leaf.length,
+                                chunk_length=chunk.length)
             if not self.inherit_checksums:
-                # Fresh descriptors so the recompute (and the stack's
-                # subsequent marking) never touches the cached buffers.
+                # Fresh descriptors (csum_known=False) so the recompute
+                # and the stack's subsequent marking never touch the
+                # cached buffers.
                 cached = [NetBuffer(payload=b.payload, headers=list(b.headers),
                                     flavor=b.flavor,
-                                    meta={k: v for k, v in b.meta.items()
-                                          if k != "csum_known"})
+                                    meta=dict(m) if (m := b.peek_meta()) else None)
                           for b in cached]
             substituted += len(cached)
             if pending_plain:

@@ -213,6 +213,10 @@ class NCacheStore:
         stale = self._lbn.get(lbn_key)
         chunk.key = lbn_key
         chunk.dirty = False
+        # The block's identity changed (file-relative -> disk-relative):
+        # restamp the chunk's extent views at a new generation so stale
+        # pre-remap views are distinguishable without byte comparison.
+        chunk.bump_generation()
         self._lbn[lbn_key] = chunk  # installed before the stale removal so
         # reclaim listeners observe the block as still resolvable
         if stale is not None and stale is not chunk:

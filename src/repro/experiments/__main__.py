@@ -65,6 +65,10 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-out", type=Path, default=None,
                         help="write a structured trace of the whole run "
                              "(Chrome trace JSON; .jsonl for JSON lines)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and write a pstats file "
+                             "(experiments.pstats, next to --out results "
+                             "or in the current directory)")
     args = parser.parse_args(argv)
 
     names = args.experiments or list(RUNNERS)
@@ -72,6 +76,11 @@ def main(argv=None) -> int:
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
     trace_sink = [] if args.trace_out is not None else None
+    profiler = None
+    if args.profile:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         for name in names:
             for result in RUNNERS[name](quick, args.workers,
@@ -84,6 +93,12 @@ def main(argv=None) -> int:
                     metrics_path = args.out / f"{result.name}.metrics.json"
                     metrics_path.write_text(result.to_json() + "\n")
     finally:
+        if profiler is not None:
+            profiler.disable()
+            stats_path = (args.out or Path(".")) / "experiments.pstats"
+            profiler.dump_stats(stats_path)
+            print(f"profile: {stats_path} "
+                  f"(inspect with python -m pstats)", file=sys.stderr)
         if trace_sink is not None:
             if args.trace_out.suffix == ".jsonl":
                 write_merged_jsonl(args.trace_out, trace_sink)

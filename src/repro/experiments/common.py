@@ -18,7 +18,7 @@ from typing import List, Optional, Sequence
 
 from ..core.chunk import Chunk
 from ..core.keys import KeyedPayload, LbnKey
-from ..net.buffer import JunkPayload, chain_from_payload
+from ..net.buffer import JunkPayload
 from ..servers.config import MB, ServerMode
 from ..servers.factory import build_testbed
 from ..servers.testbed import NfsTestbed, WebTestbed
@@ -110,8 +110,8 @@ def _warm_ncache(testbed, ranked_names: Sequence[str]) -> None:
     mss = testbed.config.costs.tcp_mss
     lun = testbed.ncache.lun
     # Budget in chunk footprints.
-    sample_chunk = Chunk(LbnKey(lun, 0), list(chain_from_payload(
-        JunkPayload(block_size), mss)))
+    sample_chunk = Chunk.from_payload(LbnKey(lun, 0),
+                                      JunkPayload(block_size), mss)
     footprint = sample_chunk.footprint(store.per_buffer_overhead,
                                        store.per_chunk_overhead)
     capacity = store.capacity_bytes // footprint
@@ -127,10 +127,12 @@ def _warm_ncache(testbed, ranked_names: Sequence[str]) -> None:
     for inode, b in reversed(blocks):
         lbn = inode.block_lbn(b)
         payload = image.initial_block_payload(lbn)
-        chain = chain_from_payload(payload, mss)
-        for buf in chain:
-            buf.meta["csum_known"] = True
-        chunk = Chunk(LbnKey(lun, lbn), list(chain))
+        # Compact chunks: one extent descriptor per block; the buffer
+        # list (with csum_known set, as if the block arrived over the
+        # wire and was verified) only springs into existence for blocks
+        # the workload actually touches.
+        chunk = Chunk.from_payload(LbnKey(lun, lbn), payload, mss,
+                                   csum_known=True)
         for victim in store.make_room(footprint):
             raise RuntimeError("dirty victim during warm start")
         store.insert(chunk)

@@ -25,6 +25,7 @@ It is allow-listed in :data:`repro.check.vocabulary.WALLCLOCK_ALLOWED_PATHS`.
 
 from __future__ import annotations
 
+import gc
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -131,7 +132,15 @@ def run_specs(specs: Sequence[RunSpec], workers: int = 1,
             "run_specs(trace=True) manages per-point trace sessions; "
             "stop the global session first")
     if workers <= 1 or len(specs) <= 1:
-        return [_execute(spec, trace) for spec in specs]
+        results = []
+        for spec in specs:
+            results.append(_execute(spec, trace))
+            # Drop the just-finished point's testbed before building the
+            # next one: without this the process high-water mark counts
+            # two full testbeds at once (collection is results-neutral —
+            # it frees garbage, it never touches live simulation state).
+            gc.collect()
+        return results
     with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
         return list(pool.map(_execute, specs, [trace] * len(specs)))
 

@@ -26,9 +26,14 @@ from ..sim.stats import CounterSet
 from .disk import BLOCK_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheEntry:
-    """One cached block."""
+    """One cached block.
+
+    Slotted: warmed full-mode caches hold tens of thousands of entries,
+    and the per-instance ``__dict__`` was measurable in the grid's heap
+    profile.
+    """
 
     lbn: int
     payload: Payload

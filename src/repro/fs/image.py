@@ -26,7 +26,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..net.buffer import Payload, VirtualPayload
+from ..net.buffer import ExtentPayload, Payload, VirtualPayload
 from .disk import BLOCK_SIZE
 
 
@@ -243,11 +243,18 @@ class FsImage:
 
 
 class DiskStore:
-    """Target-side authoritative block contents: image defaults + writes."""
+    """Target-side authoritative block contents: image defaults + writes.
+
+    Each overwrite of a block bumps that LBN's **generation**; extent
+    payloads stored for the block are restamped with it.  Generations
+    never affect content — they let staleness checks compare a small
+    integer instead of 4 KB of bytes.
+    """
 
     def __init__(self, image: FsImage) -> None:
         self.image = image
         self._written: Dict[int, Payload] = {}
+        self._generations: Dict[int, int] = {}
 
     def read_block(self, lbn: int) -> Payload:
         payload = self._written.get(lbn)
@@ -258,10 +265,18 @@ class DiskStore:
     def read_blocks(self, lbn: int, nblocks: int) -> List[Payload]:
         return [self.read_block(lbn + i) for i in range(nblocks)]
 
+    def block_generation(self, lbn: int) -> int:
+        """How many times ``lbn`` has been overwritten (0 = pristine)."""
+        return self._generations.get(lbn, 0)
+
     def write_block(self, lbn: int, payload: Payload) -> None:
         if payload.length != self.image.block_size:
             raise ValueError(
                 f"write of {payload.length} bytes to block-sized store")
+        generation = self._generations.get(lbn, 0) + 1
+        self._generations[lbn] = generation
+        if isinstance(payload, ExtentPayload):
+            payload = payload.with_generation(generation)
         self._written[lbn] = payload
 
     def write_extent(self, lbn: int, payload: Payload) -> None:

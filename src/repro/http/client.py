@@ -6,6 +6,7 @@ from collections import deque
 from typing import Any, Deque, Generator, Optional, Tuple
 
 from ..copymodel.accounting import RequestTrace
+from ..copymodel.materialize import materialize
 from ..net.addresses import Endpoint
 from ..net.buffer import BytesPayload
 from ..net.host import Host
@@ -61,8 +62,13 @@ class HttpClient:
         return dgram.message, dgram
 
 
-def response_body(dgram: Datagram) -> "bytes":
-    """Materialize the body bytes of a response datagram (tests only)."""
+def response_body(dgram: Datagram, bus: Optional[Any] = None) -> "bytes":
+    """Materialize the body bytes of a response datagram (tests only).
+
+    A verification point: goes through the copymodel chokepoint so the
+    materialization is lint-visible and traced.
+    """
     response: HttpResponse = dgram.message
     whole = dgram.chain.payload()
-    return whole.materialize()[response.header_size:]
+    data = materialize(whole, why="client_verify", bus=bus)
+    return data[response.header_size:]

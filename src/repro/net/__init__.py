@@ -6,6 +6,7 @@ from .buffer import (
     BufferFlavor,
     BytesPayload,
     CompositePayload,
+    ExtentPayload,
     JunkPayload,
     NetBuffer,
     Payload,
@@ -37,6 +38,7 @@ __all__ = [
     "Datagram",
     "Endpoint",
     "EthernetHeader",
+    "ExtentPayload",
     "HTTP_PORT",
     "Header",
     "Host",

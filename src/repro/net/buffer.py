@@ -3,10 +3,14 @@
 Three layers of abstraction:
 
 * :class:`Payload` — an immutable sequence of bytes.  Large simulated
-  transfers use :class:`VirtualPayload`, whose bytes are a deterministic
-  function of a ``(tag, offset)`` pair and are only materialized on demand
-  (tests do; steady-state simulation does not).  This keeps the simulator
+  transfers use :class:`ExtentPayload`, a lazy **extent descriptor**
+  ``(source, offset, length, generation)`` over a backing store whose
+  bytes are a deterministic function of ``(source, offset)`` and are only
+  materialized on demand (tests do; steady-state simulation does not).
+  Slice/split/concat are O(1)-per-part descriptor arithmetic — adjacent
+  views of one extent re-merge in :func:`concat` — so the simulator stays
   O(events) instead of O(bytes) while remaining byte-checkable.
+  ``VirtualPayload`` is the historical alias for the same class.
 * :class:`NetBuffer` — one network buffer: a stack of protocol headers plus
   a payload fragment, like a Linux ``sk_buff`` (or FreeBSD ``mbuf``; see
   :class:`BufferFlavor`).
@@ -23,7 +27,6 @@ payloads themselves are cost-free value objects.
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterable, Iterator, List, Optional, Sequence
 
@@ -156,34 +159,92 @@ class BytesPayload(Payload):
         return f"BytesPayload({len(self.data)}B)"
 
 
-class VirtualPayload(Payload):
-    """Deterministic lazily-materialized payload (bulk file data).
+#: Allocator for anonymous memory identities.  Negative so they can never
+#: collide with backing-store identities, which reuse the (non-negative)
+#: source tag.  A plain counter, not id(): ids get recycled by the
+#: allocator, memory identities must not.
+_anon_mem = 0
 
-    ``tag`` identifies the data source (e.g. a hash of (file id, block));
-    content is :func:`pattern_bytes`.
+
+def _fresh_mem() -> int:
+    """A new anonymous memory identity (the result of a modelled memcpy)."""
+    global _anon_mem
+    _anon_mem -= 1
+    return _anon_mem
+
+
+class ExtentPayload(Payload):
+    """Lazy extent descriptor: a ``(source, offset, length)`` view.
+
+    ``source`` identifies the backing data source (e.g. a hash of
+    (image seed, inode)); content is :func:`pattern_bytes` of
+    ``(source, offset)``.  Two bookkeeping fields ride along, neither of
+    which affects content:
+
+    * ``generation`` — bumped when the backing range is overwritten or a
+      cached chunk is remapped FHO→LBN, so staleness is checkable without
+      comparing bytes;
+    * ``mem`` — the memory identity of the buffer holding this view.
+      Views created by slice/split share their parent's ``mem``;
+      :meth:`physical_copy` allocates a fresh anonymous one.  Descriptors
+      straight off the backing store use the source tag itself (they
+      model disk content, not a RAM buffer).  The buffer-lifecycle
+      sanitizer uses ``mem`` to catch aliasing between *different* view
+      objects of one buffer.
     """
 
-    __slots__ = ("tag", "offset")
+    __slots__ = ("source", "offset", "generation", "mem")
 
-    def __init__(self, tag: int, offset: int, length: int) -> None:
+    def __init__(self, source: int, offset: int, length: int,
+                 generation: int = 0, mem: Optional[int] = None) -> None:
         if length < 0:
             raise ValueError("negative length")
         super().__init__(length)
-        self.tag = tag
+        self.source = source
         self.offset = offset
+        self.generation = generation
+        self.mem = source if mem is None else mem
+
+    @property
+    def tag(self) -> int:
+        """Historical name for ``source`` (pre-extent VirtualPayload)."""
+        return self.source
 
     def materialize(self) -> bytes:
-        return pattern_bytes(self.tag, self.offset, self.length)
+        return pattern_bytes(self.source, self.offset, self.length)
 
     def slice(self, offset: int, length: int) -> Payload:
         self._check_slice(offset, length)
-        return VirtualPayload(self.tag, self.offset + offset, length)
+        return ExtentPayload(self.source, self.offset + offset, length,
+                             self.generation, self.mem)
 
     def physical_copy(self) -> Payload:
-        return VirtualPayload(self.tag, self.offset, self.length)
+        return ExtentPayload(self.source, self.offset, self.length,
+                             self.generation, _fresh_mem())
+
+    def with_generation(self, generation: int) -> "ExtentPayload":
+        """The same view restamped at ``generation`` (same memory)."""
+        return ExtentPayload(self.source, self.offset, self.length,
+                             generation, self.mem)
+
+    def same_bytes(self, other: Payload) -> bool:
+        # Content-hash fast path: content is a pure function of
+        # (source, offset, length), so descriptor equality decides
+        # byte equality without materializing.
+        if type(other) is ExtentPayload:
+            return (self.source == other.source
+                    and self.offset == other.offset
+                    and self.length == other.length)
+        return super().same_bytes(other)
 
     def __repr__(self) -> str:
-        return f"VirtualPayload(tag={self.tag:#x}, off={self.offset}, {self.length}B)"
+        return (f"ExtentPayload(src={self.source:#x}, off={self.offset}, "
+                f"{self.length}B, gen={self.generation})")
+
+
+#: Historical name: the extent descriptor grew out of VirtualPayload and
+#: keeps its constructor signature, so existing call sites are unchanged.
+VirtualPayload = ExtentPayload
 
 
 class CompositePayload(Payload):
@@ -303,7 +364,22 @@ class CompositePayload(Payload):
         return out
 
     def physical_copy(self) -> Payload:
-        return CompositePayload([p.physical_copy() for p in self.parts])
+        # A physical copy gathers the parts into one fresh buffer, so
+        # contiguous same-source extent parts collapse to one descriptor
+        # over that buffer (they now genuinely share memory).
+        mem = _fresh_mem()
+        out: List[Payload] = []
+        for part in self.parts:
+            if type(part) is ExtentPayload:
+                copied: Payload = ExtentPayload(
+                    part.source, part.offset, part.length,
+                    part.generation, mem)
+            else:
+                copied = part.physical_copy()
+            _append_merged(out, copied)
+        if len(out) == 1:
+            return out[0]
+        return CompositePayload._from_flat(out)
 
     def __repr__(self) -> str:
         return f"CompositePayload({len(self.parts)} parts, {self.length}B)"
@@ -352,14 +428,43 @@ class PlaceholderPayload(JunkPayload):
     __slots__ = ()
 
 
+def _append_merged(out: List[Payload], part: Payload) -> None:
+    """Append ``part`` to ``out``, re-merging adjacent extent views.
+
+    Two extent descriptors merge when they are contiguous views of the
+    same source at the same generation in the same memory — the inverse
+    of :meth:`ExtentPayload.slice`, so split-then-concat round-trips to
+    a single descriptor instead of accreting composite parts.
+    """
+    prev = out[-1] if out else None
+    if (type(part) is ExtentPayload and type(prev) is ExtentPayload
+            and prev.source == part.source
+            and prev.mem == part.mem
+            and prev.generation == part.generation
+            and prev.offset + prev.length == part.offset):
+        out[-1] = ExtentPayload(prev.source, prev.offset,
+                                prev.length + part.length,
+                                prev.generation, prev.mem)
+    else:
+        out.append(part)
+
+
 def concat(parts: Iterable[Payload]) -> Payload:
-    """Concatenate payloads, collapsing the single/empty cases."""
-    parts = [p for p in parts if p.length > 0]
-    if not parts:
+    """Concatenate payloads, collapsing single/empty/mergeable cases."""
+    flat: List[Payload] = []
+    for part in parts:
+        if part.length == 0:
+            continue
+        if isinstance(part, CompositePayload):
+            for sub in part.parts:
+                _append_merged(flat, sub)
+        else:
+            _append_merged(flat, part)
+    if not flat:
         return BytesPayload(b"")
-    if len(parts) == 1:
-        return parts[0]
-    return CompositePayload(parts)
+    if len(flat) == 1:
+        return flat[0]
+    return CompositePayload._from_flat(flat)
 
 
 def apply_discipline(payload: Payload, discipline) -> Payload:
@@ -405,20 +510,53 @@ class BufferFlavor(Enum):
         return 1500 if self is BufferFlavor.SK_BUFF else 2048
 
 
-@dataclass
 class NetBuffer:
     """One network buffer: header stack + payload fragment + metadata.
 
     ``headers`` is ordered outermost-first (Ethernet, IP, UDP/TCP, RPC...).
     ``checksum`` caches the transport checksum covering this buffer's
     payload; NCache *inherits* it instead of recomputing (§1).
+
+    A slotted hand-rolled class rather than a dataclass: the warm-start
+    path and transport fragmentation allocate hundreds of thousands of
+    these, and the dataclass ``__init__`` plus an always-present ``meta``
+    dict were the two largest line items in the grid's heap profile.
+    ``csum_known`` (is the transport checksum for this fragment already
+    computed?) is the only metadata key hot enough to matter, so it is a
+    plain slot; everything else lives in a lazily-created ``meta`` dict.
     """
 
-    payload: Payload
-    headers: List[object] = field(default_factory=list)
-    flavor: BufferFlavor = BufferFlavor.SK_BUFF
-    checksum: Optional[int] = None
-    meta: dict = field(default_factory=dict)
+    __slots__ = ("payload", "headers", "flavor", "checksum", "csum_known",
+                 "_meta")
+
+    def __init__(self, payload: Payload,
+                 headers: Optional[List[object]] = None,
+                 flavor: BufferFlavor = BufferFlavor.SK_BUFF,
+                 checksum: Optional[int] = None,
+                 meta: Optional[dict] = None,
+                 csum_known: bool = False) -> None:
+        self.payload = payload
+        self.headers: List[object] = [] if headers is None else headers
+        self.flavor = flavor
+        self.checksum = checksum
+        self.csum_known = csum_known
+        self._meta: Optional[dict] = meta
+
+    @property
+    def meta(self) -> dict:
+        """Auxiliary metadata dict, created on first access.
+
+        Cold-path only.  Readers that must not allocate use
+        :meth:`peek_meta`.
+        """
+        meta = self._meta
+        if meta is None:
+            meta = self._meta = {}
+        return meta
+
+    def peek_meta(self) -> Optional[dict]:
+        """The metadata dict if one exists, else ``None`` (no allocation)."""
+        return self._meta
 
     @property
     def payload_bytes(self) -> int:
@@ -446,9 +584,15 @@ class NetBuffer:
         This is the substitution primitive: NCache swaps the junk payload
         of an outgoing packet for cached network buffers.
         """
+        meta = self._meta
         return NetBuffer(payload=payload, headers=list(self.headers),
                          flavor=self.flavor, checksum=checksum,
-                         meta=dict(self.meta))
+                         meta=dict(meta) if meta is not None else None,
+                         csum_known=self.csum_known)
+
+    def __repr__(self) -> str:
+        return (f"NetBuffer({self.payload!r}, {len(self.headers)} headers, "
+                f"{self.flavor.value})")
 
 
 class BufferChain:

@@ -80,7 +80,7 @@ class Network:
     Loss injection: ``set_loss(rate, seed)`` drops that fraction of UDP
     datagrams (whole messages, matching the burst granularity of the
     model).  TCP legs stay lossless — the iSCSI session rides a reliable
-    transport and TCP recovery is out of scope (DESIGN.md §8); loss is an
+    transport and TCP recovery is out of scope (DESIGN.md §9); loss is an
     NFS/UDP phenomenon, which is exactly where the paper's protocols can
     experience it.
     """

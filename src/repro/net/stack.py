@@ -257,11 +257,11 @@ class NetworkStack:
             return
         acct = self.host.acct
         for buf in chain:
-            if buf.meta.get("csum_known") or buf.checksum is not None:
+            if buf.csum_known or buf.checksum is not None:
                 yield from acct.checksum(buf.payload_bytes, cached=True)
             else:
                 yield from acct.checksum(buf.payload_bytes)
-                buf.meta["csum_known"] = True
+                buf.csum_known = True
 
     def _software_checksum_rx(self, chain: BufferChain
                               ) -> Generator[Event, Any, None]:
@@ -274,7 +274,7 @@ class NetworkStack:
         for buf in chain:
             if not self.host.checksum_offload:
                 yield from self.host.acct.checksum(buf.payload_bytes)
-            buf.meta["csum_known"] = True
+            buf.csum_known = True
 
     def _handle_handshake(self, nic: NIC, dgram: Datagram) -> None:
         if dgram.meta["tcp"] == "syn":

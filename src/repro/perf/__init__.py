@@ -8,6 +8,8 @@ tolerance band.  See :mod:`repro.perf.harness` for the mechanics.
 """
 
 from .harness import (
+    DEFAULT_RSS_TOLERANCE,
+    DEFAULT_TOLERANCE,
     SCHEMA_VERSION,
     compare,
     latest_baseline,
@@ -18,6 +20,8 @@ from .harness import (
 )
 
 __all__ = [
+    "DEFAULT_RSS_TOLERANCE",
+    "DEFAULT_TOLERANCE",
     "SCHEMA_VERSION",
     "compare",
     "latest_baseline",

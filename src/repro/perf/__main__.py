@@ -22,8 +22,8 @@ import sys
 from datetime import date
 from pathlib import Path
 
-from .harness import (DEFAULT_TOLERANCE, GRID, compare, latest_baseline,
-                      run_grid, write_record)
+from .harness import (DEFAULT_RSS_TOLERANCE, DEFAULT_TOLERANCE, GRID,
+                      compare, latest_baseline, run_grid, write_record)
 
 RESULTS_DIR = (Path(__file__).resolve().parents[3]
                / "benchmarks" / "results")
@@ -47,6 +47,11 @@ def main(argv=None) -> int:
                         default=DEFAULT_TOLERANCE, metavar="FRAC",
                         help="allowed fractional wall-clock growth "
                              "(default: %(default)s)")
+    parser.add_argument("--rss-tolerance", type=float,
+                        default=DEFAULT_RSS_TOLERANCE, metavar="FRAC",
+                        help="allowed fractional peak-RSS growth "
+                             "(default: %(default)s); entries with a "
+                             "null RSS on either side are skipped")
     parser.add_argument("--no-record", action="store_true",
                         help="do not write a BENCH_<date>.json record")
     parser.add_argument("--results-dir", type=Path, default=RESULTS_DIR,
@@ -61,10 +66,12 @@ def main(argv=None) -> int:
     entries = run_grid(args.experiments or None, quick=quick,
                        workers=args.workers)
     for e in entries:
+        rss = (f"{e['peak_rss_kb']} KB" if e["peak_rss_kb"] is not None
+               else "n/a")
         print(f"{e['name']:<10} {e['wall_s']:>8.3f}s "
               f"{e['sim_events']:>10d} ev "
               f"{e['events_per_sec']:>9d} ev/s "
-              f"rss {e['peak_rss_kb']} KB")
+              f"rss {rss}")
 
     written = None
     if not args.no_record:
@@ -84,14 +91,17 @@ def main(argv=None) -> int:
     base_path, baseline = found
     print(f"baseline: {base_path.name} (workers={baseline.get('workers')})")
     failed = False
-    for v in compare(entries, baseline, args.tolerance):
+    for v in compare(entries, baseline, args.tolerance,
+                     rss_tolerance=args.rss_tolerance):
         if v["status"] == "new":
             print(f"{v['name']:<10} NEW    {v['wall_s']:>8.3f}s")
             continue
         flag = " [sim drift]" if v["drift"] else ""
+        rss = (f" rss x{v['rss_ratio']}" if v["rss_ratio"] is not None
+               else " rss n/a")
         print(f"{v['name']:<10} {v['status'].upper():<6} "
               f"{v['wall_s']:>8.3f}s vs {v['baseline_wall_s']:>8.3f}s "
-              f"(x{v['ratio']}){flag}")
+              f"(x{v['ratio']}){rss}{flag}")
         failed = failed or v["status"] == "fail"
     return 1 if failed else 0
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import inspect
 import json
-import resource
+import sys
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -91,16 +91,29 @@ def workload_seeds() -> Dict[str, int]:
     return out
 
 
-def peak_rss_kb() -> int:
-    """Peak resident set size in KB, including finished pool workers.
+def peak_rss_kb() -> Optional[int]:
+    """Peak resident set size in KB, or ``None`` where unmeasurable.
 
-    ``ru_maxrss`` is in kilobytes on Linux.  ``RUSAGE_CHILDREN`` covers
+    ``ru_maxrss`` is kilobytes on Linux but *bytes* on macOS (normalized
+    here), and ``resource`` does not exist on Windows; a record from such
+    a platform carries ``null`` and the comparator skips the RSS check
+    for it rather than comparing garbage.  ``RUSAGE_CHILDREN`` covers
     reaped ``ProcessPoolExecutor`` workers, so parallel runs report the
     largest footprint any process reached.
     """
-    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
-    return int(max(own, children))
+    try:
+        import resource
+    except ImportError:
+        return None
+    try:
+        own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    except (OSError, ValueError):
+        return None
+    peak = int(max(own, children))
+    if sys.platform == "darwin":
+        peak //= 1024
+    return peak if peak > 0 else None
 
 
 def run_grid(names: Optional[Sequence[str]] = None, quick: bool = True,
@@ -201,15 +214,26 @@ def latest_baseline(results_dir: Path, quick: bool = True,
     return None
 
 
+#: Default peak-RSS regression tolerance (fractional growth over the
+#: baseline before the check fails).
+DEFAULT_RSS_TOLERANCE = 0.25
+
+
 def compare(current: Sequence[Dict[str, Any]], baseline: Dict[str, Any],
-            tolerance: float = DEFAULT_TOLERANCE) -> List[Dict[str, Any]]:
+            tolerance: float = DEFAULT_TOLERANCE,
+            rss_tolerance: float = DEFAULT_RSS_TOLERANCE
+            ) -> List[Dict[str, Any]]:
     """Verdict per current entry against the baseline record.
 
     Each verdict carries ``status``: ``ok``, ``fail`` (wall-clock grew
     beyond ``tolerance`` — never for entries whose baseline is under
-    :data:`MIN_COMPARABLE_WALL_S`), ``new`` (no baseline entry), plus a
-    ``drift`` flag when ``sim_events`` changed — the simulation itself
-    is different, so treat the wall-clock delta with suspicion.
+    :data:`MIN_COMPARABLE_WALL_S` — or peak RSS grew beyond
+    ``rss_tolerance``), ``new`` (no baseline entry), plus a ``drift``
+    flag when ``sim_events`` changed — the simulation itself is
+    different, so treat the wall-clock delta with suspicion.  The RSS
+    check is skipped (``rss_ratio`` is ``None``) when either side
+    recorded ``null`` — platforms where :func:`peak_rss_kb` cannot
+    measure.
     """
     by_name = {e["name"]: e for e in baseline.get("entries", [])}
     verdicts: List[Dict[str, Any]] = []
@@ -222,13 +246,21 @@ def compare(current: Sequence[Dict[str, Any]], baseline: Dict[str, Any],
         ratio = (entry["wall_s"] / base["wall_s"]
                  if base["wall_s"] > 0 else float("inf"))
         too_small = base["wall_s"] < MIN_COMPARABLE_WALL_S
+        wall_ok = too_small or ratio <= 1.0 + tolerance
+        base_rss = base.get("peak_rss_kb")
+        cur_rss = entry.get("peak_rss_kb")
+        rss_ratio = (round(cur_rss / base_rss, 3)
+                     if base_rss and cur_rss else None)
+        rss_ok = rss_ratio is None or rss_ratio <= 1.0 + rss_tolerance
         verdicts.append({
             "name": entry["name"],
-            "status": ("ok" if too_small or ratio <= 1.0 + tolerance
-                       else "fail"),
+            "status": "ok" if wall_ok and rss_ok else "fail",
             "wall_s": entry["wall_s"],
             "baseline_wall_s": base["wall_s"],
             "ratio": round(ratio, 3),
+            "peak_rss_kb": cur_rss,
+            "baseline_peak_rss_kb": base_rss,
+            "rss_ratio": rss_ratio,
             "drift": entry["sim_events"] != base.get("sim_events"),
         })
     return verdicts

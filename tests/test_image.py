@@ -161,7 +161,11 @@ class TestDiskStore:
         store = DiskStore(image)
         new = VirtualPayload(99, 0, BLOCK_SIZE)
         store.write_block(inode.start_lbn, new)
-        assert store.read_block(inode.start_lbn) is new
+        got = store.read_block(inode.start_lbn)
+        # Extent payloads come back restamped at the block's write
+        # generation; content is unchanged.
+        assert got.same_bytes(new)
+        assert got.generation == store.block_generation(inode.start_lbn) == 1
         assert store.written_blocks == 1
 
     def test_write_extent_splits_blocks(self):

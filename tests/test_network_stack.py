@@ -140,7 +140,7 @@ class TestUdp:
 
         drive(sim, send())
         sim.run()
-        assert all(buf.meta.get("csum_known") for buf in got[0].chain)
+        assert all(buf.csum_known for buf in got[0].chain)
 
     def test_cpu_charged_on_both_ends(self, sim, two_hosts):
         a, b = two_hosts

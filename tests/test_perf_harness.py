@@ -82,3 +82,47 @@ def test_compare_flags_sim_event_drift():
     baseline = {"entries": [entry("figure4", 2.0, sim_events=1000)]}
     [verdict] = compare([entry("figure4", 2.0, sim_events=1001)], baseline)
     assert verdict["status"] == "ok" and verdict["drift"]
+
+
+def rss_entry(name, peak_rss_kb, wall_s=2.0):
+    e = entry(name, wall_s)
+    e["peak_rss_kb"] = peak_rss_kb
+    return e
+
+
+def test_compare_rss_tolerance_band():
+    baseline = {"entries": [rss_entry("figure4", 100_000),
+                            rss_entry("figure7", 100_000)]}
+    verdicts = compare([rss_entry("figure4", 120_000),   # +20%: inside 25%
+                        rss_entry("figure7", 130_000)],  # +30%: regression
+                       baseline)
+    by_name = {v["name"]: v for v in verdicts}
+    assert by_name["figure4"]["status"] == "ok"
+    assert by_name["figure4"]["rss_ratio"] == 1.2
+    assert by_name["figure7"]["status"] == "fail"
+
+
+def test_compare_skips_rss_when_unavailable():
+    # peak_rss_kb records null where getrusage is unavailable; the
+    # comparator must degrade to wall-clock only, never crash or fail.
+    for current_rss, baseline_rss in [(None, 100_000), (100_000, None),
+                                      (None, None)]:
+        baseline = {"entries": [rss_entry("figure4", baseline_rss)]}
+        [verdict] = compare([rss_entry("figure4", current_rss)], baseline)
+        assert verdict["status"] == "ok"
+        assert verdict["rss_ratio"] is None
+
+
+def test_compare_rss_verdict_carries_both_sides():
+    baseline = {"entries": [rss_entry("figure4", 100_000)]}
+    [verdict] = compare([rss_entry("figure4", 50_000)], baseline)
+    assert verdict["peak_rss_kb"] == 50_000
+    assert verdict["baseline_peak_rss_kb"] == 100_000
+    assert verdict["rss_ratio"] == 0.5
+
+
+def test_peak_rss_kb_positive_or_none():
+    from repro.perf.harness import peak_rss_kb
+
+    got = peak_rss_kb()
+    assert got is None or got > 0

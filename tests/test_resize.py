@@ -24,18 +24,16 @@ def data_chain(total, fragment, header=0, tag=1):
 
 class TestSliceBuffer:
     def test_full_slice_is_identity(self):
-        buf = NetBuffer(payload=VirtualPayload(1, 0, 100))
-        buf.meta["csum_known"] = True
+        buf = NetBuffer(payload=VirtualPayload(1, 0, 100), csum_known=True)
         assert slice_buffer(buf, 0, 100) is buf
 
     def test_partial_slice_fresh_descriptor(self):
-        buf = NetBuffer(payload=VirtualPayload(1, 0, 100))
-        buf.meta["csum_known"] = True
+        buf = NetBuffer(payload=VirtualPayload(1, 0, 100), csum_known=True)
         part = slice_buffer(buf, 10, 50)
         assert part is not buf
         assert part.payload.materialize() == \
             buf.payload.materialize()[10:60]
-        assert "csum_known" not in part.meta  # different bytes, no reuse
+        assert not part.csum_known  # different bytes, no checksum reuse
 
 
 class TestSplitIntoChunks:
