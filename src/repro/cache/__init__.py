@@ -1,0 +1,34 @@
+"""repro.cache — the unified eviction kernel (DESIGN.md §9).
+
+One replacement engine behind both of the repo's caches: the
+network-centric chunk store (:class:`~repro.core.store.NCacheStore`) and
+the file-system page cache (:class:`~repro.fs.buffer_cache.BufferCache`).
+The paper fixes replacement at "classic LRU over fixed-size chunks"
+(§3.4); this package reproduces that exactly as the default policy while
+making the policy a first-class, benchmarkable dimension
+(``experiments/policy_ablation.py``).
+
+Public surface:
+
+* :class:`~repro.cache.kernel.CacheKernel` — budgeted entry table with
+  monotonic handles, pin/dirty-aware victim selection, ghost-hit
+  estimation and ``cache.<name>.*`` metrics;
+* :class:`~repro.cache.sharded.ShardedKernel` — N independently budgeted
+  kernels behind a deterministic key hash;
+* :mod:`~repro.cache.policy` — the :class:`~repro.cache.policy.Policy`
+  interface and the ``lru`` / ``clock`` / ``slru`` / ``arc``
+  implementations.
+"""
+
+from .kernel import CacheKernel, CacheStallError
+from .policy import POLICIES, Policy, make_policy
+from .sharded import ShardedKernel
+
+__all__ = [
+    "CacheKernel",
+    "CacheStallError",
+    "POLICIES",
+    "Policy",
+    "ShardedKernel",
+    "make_policy",
+]

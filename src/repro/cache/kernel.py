@@ -1,0 +1,298 @@
+"""The eviction kernel: one budgeted entry table, any policy.
+
+:class:`CacheKernel` owns what both of the repo's caches used to
+hand-roll separately: a byte budget, an entry table keyed by **monotonic
+handles** (allocated once, never reused — unlike ``id()``, which the
+allocator recycles after GC and which silently corrupted LRU order in
+long sweeps), victim selection that skips pinned entries (with optional
+clean-first preference, §3.4: "first clean buffers are reclaimed and
+then dirty buffers are flushed and reclaimed"), and the
+``cache.<name>.*`` metric family.
+
+The kernel stores opaque items; it only requires them to expose
+``dirty`` and ``pinned`` attributes (chunks and page-cache entries both
+do).  Index bookkeeping (LBN/FHO maps), traces, sanitizer hooks and
+reclaim listeners remain with the consumer — the ``on_evict`` callback
+runs per victim *before* the next victim is chosen, so listeners observe
+exactly the intermediate states the pre-kernel stores produced.
+
+Budget operations (:meth:`resize`, :meth:`steal`, :meth:`grant`) let one
+cache squeeze another at runtime — the "NCache pins most of memory and
+keeps the FS cache deliberately small" protocol of §3.4/§4.1 expressed
+as a kernel-level contract instead of static configuration.
+"""
+
+from __future__ import annotations
+
+from typing import (Any, Callable, Hashable, Iterator, List, NoReturn,
+                    Optional, Tuple)
+
+from ..obs.metrics import Counter, MetricsRegistry
+from ..obs.trace import TraceBus
+from ..sim.stats import CounterSet
+from .policy import Policy, make_policy
+
+
+class CacheStallError(RuntimeError):
+    """Raised when eviction must make progress but every entry is pinned
+    (or otherwise inadmissible).  A ``RuntimeError`` subclass so existing
+    callers that treated the stall as fatal keep working unchanged."""
+
+
+class KernelMetrics:
+    """The ``cache.<name>.*`` metric family, resolved once at startup."""
+
+    __slots__ = ("hit", "miss", "evict_clean", "evict_dirty", "ghost_hit")
+
+    def __init__(self, hit: Counter, miss: Counter, evict_clean: Counter,
+                 evict_dirty: Counter, ghost_hit: Counter) -> None:
+        self.hit = hit
+        self.miss = miss
+        self.evict_clean = evict_clean
+        self.evict_dirty = evict_dirty
+        self.ghost_hit = ghost_hit
+
+    @classmethod
+    def declare(cls, registry: MetricsRegistry, name: str) -> "KernelMetrics":
+        return cls(
+            hit=registry.counter(f"cache.{name}.hit"),
+            miss=registry.counter(f"cache.{name}.miss"),
+            evict_clean=registry.counter(f"cache.{name}.evict_clean"),
+            evict_dirty=registry.counter(f"cache.{name}.evict_dirty"),
+            ghost_hit=registry.counter(f"cache.{name}.ghost_hit"),
+        )
+
+
+#: One live cache entry: ``(key, item, nbytes)``.  A plain tuple — the
+#: insert path runs once per block entering the cache, and a tuple
+#: allocates in C with no ``__init__`` frame.
+_Entry = Tuple[Hashable, Any, int]
+
+
+class CacheKernel:
+    """Budgeted entry table with pluggable replacement; see module doc."""
+
+    def __init__(self, name: str, capacity_bytes: int,
+                 policy: str = "lru", *,
+                 clean_first: bool = False,
+                 counters: Optional[CounterSet] = None,
+                 trace: Optional[TraceBus] = None,
+                 stall_event: Optional[str] = None,
+                 trace_cat: str = "cache",
+                 handle_start: int = 1,
+                 handle_step: int = 1,
+                 metrics: Optional[KernelMetrics] = None) -> None:
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.policy: Policy = make_policy(policy)
+        self.clean_first = clean_first
+        self.counters = counters if counters is not None else CounterSet()
+        self.trace = trace
+        self.metrics = metrics if metrics is not None \
+            else KernelMetrics.declare(self.counters.registry, name)
+        self._stall_event = stall_event
+        self._trace_cat = trace_cat
+        self._entries: dict[int, _Entry] = {}
+        self._used = 0
+        self._next_handle = handle_start
+        self._handle_step = handle_step
+        # Hot path: insert/evict run once per block entering or leaving
+        # the cache; bind the policy methods once to skip the chains.
+        self._policy_insert = self.policy.insert
+        self._policy_evicted = self.policy.evicted
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def policy_name(self) -> str:
+        return self.policy.name
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    def free_bytes_for(self, key: Hashable) -> int:
+        """Free budget in the shard responsible for ``key`` (here: all).
+        Inlined rather than delegating to :attr:`free_bytes` — it sits on
+        the consumers' insert path."""
+        return self.capacity_bytes - self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, handle: int) -> bool:
+        return handle in self._entries
+
+    def get(self, handle: Optional[int]) -> Any:
+        """The live item under ``handle``, or None."""
+        if handle is None:
+            return None
+        entry = self._entries.get(handle)
+        return entry[1] if entry is not None else None
+
+    def key_of(self, handle: int) -> Hashable:
+        return self._entries[handle][0]
+
+    def size_of(self, handle: int) -> int:
+        return self._entries[handle][2]
+
+    def items(self) -> Iterator[Tuple[Hashable, Any]]:
+        """``(key, item)`` pairs in the policy's cold-to-hot order."""
+        entries = self._entries
+        for handle in self.policy.iter_handles():
+            key, item, _ = entries[handle]
+            yield key, item
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def insert(self, key: Hashable, item: Any, nbytes: int) -> int:
+        """Admit ``item`` at MRU position; returns its handle.
+
+        Room discipline stays with the consumer (call :meth:`make_room`
+        first); the kernel tolerates transient overshoot so replacement
+        flows can install the new entry before reclaiming the stale one.
+        """
+        handle = self._next_handle
+        self._next_handle = handle + self._handle_step
+        self._entries[handle] = (key, item, nbytes)
+        self._used += nbytes
+        self._policy_insert(handle, key)
+        return handle
+
+    def touch(self, handle: int) -> None:
+        """Record a hit on a live entry (promotes it, counts the hit)."""
+        self.policy.touch(handle)
+        self.metrics.hit._total += 1
+
+    def record_hit(self) -> None:
+        """Count a hit that must not promote (``touch=False`` lookups)."""
+        self.metrics.hit._total += 1
+
+    def record_miss(self, key: Hashable) -> None:
+        """Count a miss and probe the ghost list for ``key``."""
+        self.metrics.miss._total += 1
+        if self.policy.ghost_hit(key):
+            self.metrics.ghost_hit._total += 1
+
+    def rekey(self, handle: int, new_key: Hashable) -> int:
+        """Reassign a live entry's key (FHO→LBN remap) in place.
+
+        The entry's recency position is untouched — exactly the
+        pre-kernel remap semantics.  Returns the (unchanged) handle; the
+        sharded kernel overrides this to migrate across shards.
+        """
+        entries = self._entries
+        _, item, nbytes = entries[handle]
+        entries[handle] = (new_key, item, nbytes)
+        return handle
+
+    def remove(self, handle: int) -> Any:
+        """Take a live entry out without eviction semantics (no ghost,
+        no evict counters); returns the item."""
+        _, item, nbytes = self._entries.pop(handle)
+        self._used -= nbytes
+        self.policy.remove(handle)
+        return item
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0
+        self.policy.clear()
+
+    # -- eviction -----------------------------------------------------------
+
+    def _pick_victim(self) -> Optional[int]:
+        entries = self._entries
+        if self.clean_first:
+            for handle in self.policy.iter_victims():
+                item = entries[handle][1]
+                if not item.dirty and not item.pinned:
+                    return handle
+        for handle in self.policy.iter_victims():
+            if not entries[handle][1].pinned:
+                return handle
+        return None
+
+    def _stall(self) -> NoReturn:
+        if self._stall_event is not None and self.trace is not None \
+                and self.trace.enabled:
+            self.trace.emit(self._stall_event, cat=self._trace_cat,
+                            used_bytes=self._used,
+                            capacity_bytes=self.capacity_bytes,
+                            entries=len(self._entries))
+        raise CacheStallError(
+            f"cache {self.name!r} cannot make room: "
+            f"no evictable (unpinned) entries")
+
+    def make_room(self, nbytes: int, key: Hashable = None,
+                  on_evict: Optional[Callable[[Any], None]] = None
+                  ) -> List[Any]:
+        """Evict until ``nbytes`` fit; return the dirty victims.
+
+        ``on_evict`` runs per victim *before* the next victim is chosen,
+        so consumer-side bookkeeping (indexes, traces, reclaim
+        listeners) observes the same intermediate states as the
+        pre-kernel eviction loops.  ``key`` routes the request in the
+        sharded kernel; it is accepted (and ignored) here so call sites
+        are shard-agnostic.
+        """
+        dirty_victims: List[Any] = []
+        entries = self._entries
+        policy_evicted = self._policy_evicted
+        metrics = self.metrics
+        while self.capacity_bytes - self._used < nbytes:
+            handle = self._pick_victim()
+            if handle is None:
+                self._stall()
+            key_, item, vbytes = entries.pop(handle)
+            self._used -= vbytes
+            policy_evicted(handle, key_)
+            if item.dirty:
+                metrics.evict_dirty._total += 1
+                dirty_victims.append(item)
+            else:
+                metrics.evict_clean._total += 1
+            if on_evict is not None:
+                on_evict(item)
+        return dirty_victims
+
+    # -- budget operations (the §3.4 squeeze protocol) ----------------------
+
+    def resize(self, new_capacity_bytes: int,
+               on_evict: Optional[Callable[[Any], None]] = None
+               ) -> List[Any]:
+        """Change the budget, evicting down to it if shrunk; returns the
+        dirty victims exactly like :meth:`make_room`."""
+        self.capacity_bytes = new_capacity_bytes
+        dirty_victims: List[Any] = []
+        entries = self._entries
+        metrics = self.metrics
+        while self._used > self.capacity_bytes:
+            handle = self._pick_victim()
+            if handle is None:
+                self._stall()
+            key_, item, vbytes = entries.pop(handle)
+            self._used -= vbytes
+            self._policy_evicted(handle, key_)
+            if item.dirty:
+                metrics.evict_dirty._total += 1
+                dirty_victims.append(item)
+            else:
+                metrics.evict_clean._total += 1
+            if on_evict is not None:
+                on_evict(item)
+        return dirty_victims
+
+    def steal(self, nbytes: int,
+              on_evict: Optional[Callable[[Any], None]] = None
+              ) -> List[Any]:
+        """Shrink the budget by ``nbytes`` (the donor side of a squeeze)."""
+        return self.resize(self.capacity_bytes - nbytes, on_evict)
+
+    def grant(self, nbytes: int) -> None:
+        """Grow the budget by ``nbytes`` (the recipient side)."""
+        self.capacity_bytes += nbytes

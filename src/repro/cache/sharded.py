@@ -1,0 +1,233 @@
+"""Hash-partitioned cache: N independently budgeted kernels.
+
+Each shard is a full :class:`~repro.cache.kernel.CacheKernel` with its
+own policy instance and ``capacity // N`` of the byte budget (shard 0
+absorbs the division remainder, so the shard budgets always sum to the
+configured capacity).  Keys route by a deterministic multiplicative hash
+over the key's own integer hash — both key types
+(:class:`~repro.core.keys.LbnKey`, :class:`~repro.core.keys.FhoKey`) are
+frozen dataclasses of ints, whose ``hash()`` is seed-independent, so
+shard assignment is stable across runs and across
+``PYTHONHASHSEED`` values.
+
+Handles encode their shard arithmetically: shard *i* allocates
+``i+1, i+1+N, i+1+2N, ...`` (``handle - 1 ≡ i  (mod N)``), so handle →
+shard routing is O(1) with no extra table and handles stay globally
+unique and monotonic per shard.
+
+With ``shards=1`` the single shard's behavior is bit-identical to an
+unsharded kernel (same handle sequence, same policy decisions) — the
+determinism lock in ``tests/test_cache_kernel.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterator, List, Optional, Tuple
+
+from ..obs.trace import TraceBus
+from ..sim.stats import CounterSet
+from .kernel import CacheKernel, KernelMetrics
+
+#: Knuth's multiplicative constant; spreads consecutive LBNs across
+#: shards instead of striping runs into one shard.
+_HASH_MULT = 0x9E3779B1
+_HASH_MASK = 0xFFFFFFFF
+
+
+def default_shard_hash(key: Hashable) -> int:
+    """Deterministic 32-bit mix of a key's (int-based) hash."""
+    mixed = (hash(key) * _HASH_MULT) & _HASH_MASK
+    return mixed ^ (mixed >> 16)
+
+
+class ShardedKernel:
+    """N :class:`CacheKernel` shards behind one kernel-shaped surface.
+
+    Drop-in for :class:`CacheKernel` at the consumer call sites used in
+    this repo; all shards share one ``cache.<name>.*`` metric family so
+    hit-ratio reporting aggregates transparently.
+    """
+
+    def __init__(self, name: str, capacity_bytes: int,
+                 policy: str = "lru", shards: int = 2, *,
+                 clean_first: bool = False,
+                 counters: Optional[CounterSet] = None,
+                 trace: Optional[TraceBus] = None,
+                 stall_event: Optional[str] = None,
+                 trace_cat: str = "cache",
+                 shard_hash: Callable[[Hashable], int] = default_shard_hash
+                 ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.name = name
+        self.n_shards = shards
+        self.counters = counters if counters is not None else CounterSet()
+        self.metrics = KernelMetrics.declare(self.counters.registry, name)
+        self._shard_hash = shard_hash
+        base = capacity_bytes // shards
+        remainder = capacity_bytes - base * shards
+        self.shards: List[CacheKernel] = [
+            CacheKernel(name, base + (remainder if i == 0 else 0),
+                        policy,
+                        clean_first=clean_first,
+                        counters=self.counters, trace=trace,
+                        stall_event=stall_event, trace_cat=trace_cat,
+                        handle_start=i + 1, handle_step=shards,
+                        metrics=self.metrics)
+            for i in range(shards)]
+
+    # -- routing ------------------------------------------------------------
+
+    def shard_for_key(self, key: Hashable) -> CacheKernel:
+        return self.shards[self._shard_hash(key) % self.n_shards]
+
+    def shard_for_handle(self, handle: int) -> CacheKernel:
+        return self.shards[(handle - 1) % self.n_shards]
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def policy_name(self) -> str:
+        return self.shards[0].policy.name
+
+    @property
+    def capacity_bytes(self) -> int:
+        return sum(shard.capacity_bytes for shard in self.shards)
+
+    @capacity_bytes.setter
+    def capacity_bytes(self, nbytes: int) -> None:
+        # Re-divide without evicting: over-budget shards shed entries at
+        # their next make_room, matching the plain kernel's assignment
+        # semantics (eviction is always a make_room/resize side effect).
+        base = nbytes // self.n_shards
+        remainder = nbytes - base * self.n_shards
+        for i, shard in enumerate(self.shards):
+            shard.capacity_bytes = base + (remainder if i == 0 else 0)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(shard.used_bytes for shard in self.shards)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def free_bytes_for(self, key: Hashable) -> int:
+        return self.shard_for_key(key).free_bytes
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, handle: int) -> bool:
+        return handle in self.shard_for_handle(handle)
+
+    def get(self, handle: Optional[int]) -> Any:
+        if handle is None:
+            return None
+        return self.shard_for_handle(handle).get(handle)
+
+    def key_of(self, handle: int) -> Hashable:
+        return self.shard_for_handle(handle).key_of(handle)
+
+    def size_of(self, handle: int) -> int:
+        return self.shard_for_handle(handle).size_of(handle)
+
+    def items(self) -> Iterator[Tuple[Hashable, Any]]:
+        """``(key, item)`` pairs, shard 0 first, cold-to-hot per shard."""
+        for shard in self.shards:
+            yield from shard.items()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def insert(self, key: Hashable, item: Any, nbytes: int) -> int:
+        return self.shard_for_key(key).insert(key, item, nbytes)
+
+    def touch(self, handle: int) -> None:
+        self.shard_for_handle(handle).touch(handle)
+
+    def policy_touch(self, handle: int) -> None:
+        """Promote without hit accounting — the consumers' hot-path
+        binding (they count the hit themselves via :attr:`metrics`)."""
+        self.shards[(handle - 1) % self.n_shards].policy.touch(handle)
+
+    def ghost_probe(self, key: Hashable) -> bool:
+        """Ghost-list membership in ``key``'s shard, no accounting."""
+        return self.shard_for_key(key).policy.ghost_hit(key)
+
+    def record_hit(self) -> None:
+        self.metrics.hit._total += 1
+
+    def record_miss(self, key: Hashable) -> None:
+        self.shard_for_key(key).record_miss(key)
+
+    def rekey(self, handle: int, new_key: Hashable) -> int:
+        """Reassign an entry's key, migrating shards when the new key
+        routes elsewhere.
+
+        Cross-shard migration re-admits the entry at the target shard's
+        MRU (its relative recency cannot be carried between independent
+        policy instances) and may transiently overshoot the target
+        shard's budget — the next ``make_room`` there corrects it, the
+        same transient-overshoot contract as ``insert``.
+        """
+        old_shard = self.shard_for_handle(handle)
+        new_shard = self.shard_for_key(new_key)
+        if new_shard is old_shard:
+            return old_shard.rekey(handle, new_key)
+        nbytes = old_shard.size_of(handle)
+        item = old_shard.remove(handle)
+        return new_shard.insert(new_key, item, nbytes)
+
+    def remove(self, handle: int) -> Any:
+        return self.shard_for_handle(handle).remove(handle)
+
+    def clear(self) -> None:
+        for shard in self.shards:
+            shard.clear()
+
+    # -- eviction -----------------------------------------------------------
+
+    def make_room(self, nbytes: int, key: Hashable = None,
+                  on_evict: Optional[Callable[[Any], None]] = None
+                  ) -> List[Any]:
+        """Make room in the shard that will receive ``key``.
+
+        Without a key (legacy call sites that size-only reserve), the
+        destination shard is unknowable, so the conservative reading
+        applies: evict from the fullest shard — fewest free bytes,
+        lowest index on ties — until *every* shard could fit the
+        request.
+        """
+        if key is not None:
+            return self.shard_for_key(key).make_room(nbytes, key=key,
+                                                     on_evict=on_evict)
+        dirty_victims: List[Any] = []
+        while True:
+            target = min(self.shards, key=lambda s: s.free_bytes)
+            if target.free_bytes >= nbytes:
+                return dirty_victims
+            dirty_victims.extend(target.make_room(nbytes,
+                                                  on_evict=on_evict))
+
+    # -- budget operations --------------------------------------------------
+
+    def resize(self, new_capacity_bytes: int,
+               on_evict: Optional[Callable[[Any], None]] = None
+               ) -> List[Any]:
+        """Re-divide a new total budget across shards (shard 0 keeps the
+        remainder, as at construction) and evict down to it."""
+        base = new_capacity_bytes // self.n_shards
+        remainder = new_capacity_bytes - base * self.n_shards
+        dirty_victims: List[Any] = []
+        for i, shard in enumerate(self.shards):
+            dirty_victims.extend(shard.resize(
+                base + (remainder if i == 0 else 0), on_evict))
+        return dirty_victims
+
+    def steal(self, nbytes: int,
+              on_evict: Optional[Callable[[Any], None]] = None
+              ) -> List[Any]:
+        return self.resize(self.capacity_bytes - nbytes, on_evict)
+
+    def grant(self, nbytes: int) -> None:
+        self.resize(self.capacity_bytes + nbytes)

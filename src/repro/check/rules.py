@@ -395,3 +395,91 @@ class EngineDiscipline(Rule):
         parts = name.split(".")
         return (len(parts) >= 2 and parts[-1] in ("run", "step")
                 and parts[-2] in ("sim", "simulator"))
+
+
+# ---------------------------------------------------------------------------
+# cache-discipline
+# ---------------------------------------------------------------------------
+
+#: OrderedDict methods whose use marks the dict as a *recency* structure
+#: (plain insertion-ordered bookkeeping never calls these).
+_RECENCY_METHODS = frozenset({"move_to_end", "popitem"})
+
+
+@register
+class CacheDiscipline(Rule):
+    """Recency/eviction bookkeeping lives in ``repro.cache`` only."""
+
+    id = "cache-discipline"
+    summary = "no hand-rolled OrderedDict recency structures outside repro.cache"
+    invariant = ("single eviction engine (PR 5 / DESIGN.md §9): every "
+                 "LRU-like structure is a repro.cache CacheKernel policy; "
+                 "a class keeping its own OrderedDict recency list "
+                 "silently diverges from the paper's §3.4 replacement and "
+                 "escapes the cache.<name>.* metric families the policy "
+                 "ablation relies on")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if vocab.path_matches(ctx.posix, vocab.CACHE_KERNEL_PATHS):
+            return
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            ordered: Dict[str, ast.AST] = {}
+            recency: Set[str] = set()
+            for node in ast.walk(cls):
+                attr = self._ordered_dict_assign(node)
+                if attr is not None:
+                    ordered.setdefault(attr, node)
+                    continue
+                attr = self._recency_call(node)
+                if attr is not None:
+                    recency.add(attr)
+            for attr in sorted(ordered.keys() & recency):
+                yield ctx.diag(
+                    self.id, ordered[attr],
+                    f"class {cls.name!r} keeps its own OrderedDict "
+                    f"recency structure 'self.{attr}' (move_to_end/"
+                    f"popitem): delegate replacement to a repro.cache "
+                    f"CacheKernel, or annotate why this ordering is not "
+                    f"a cache recency list")
+
+    @staticmethod
+    def _ordered_dict_assign(node: ast.AST) -> Optional[str]:
+        """``self.<attr> = OrderedDict(...)`` (plain or annotated) →
+        the attribute name."""
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target: ast.AST = node.targets[0]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target = node.target
+            value = node.value
+        else:
+            return None
+        if not (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            return None
+        if not isinstance(value, ast.Call):
+            return None
+        callee = dotted_name(value.func)
+        if callee is None or callee.split(".")[-1] != "OrderedDict":
+            return None
+        return target.attr
+
+    @staticmethod
+    def _recency_call(node: ast.AST) -> Optional[str]:
+        """``self.<attr>.move_to_end(...)`` / ``self.<attr>.popitem(...)``
+        → the attribute name."""
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in _RECENCY_METHODS):
+            return None
+        receiver = func.value
+        if (isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"):
+            return receiver.attr
+        return None

@@ -29,6 +29,8 @@ from typing import Dict, FrozenSet, Tuple
 #: Legal ``subsystem`` prefixes for trace events and metric names.
 SUBSYSTEMS: FrozenSet[str] = frozenset({
     "bcache",     # file-system buffer cache
+    "cache",      # the unified eviction kernel (repro.cache): per-kernel
+                  # hit/miss/evict/ghost-hit metric families
     "buffer",     # extent data plane: buffer.materialize (a payload was
                   # materialized to bytes at a verification point) and
                   # buffer.extent_slice (substitution served a partial
@@ -90,6 +92,14 @@ COPY_METADATA_PATHS: Dict[str, str] = {
     "repro/fs/image.py":
         "backing-image byte generation, not a server-side copy",
 }
+
+#: The one home of recency/eviction bookkeeping: classes here may build
+#: OrderedDict-based recency structures; everywhere else the
+#: ``cache-discipline`` rule directs authors to a
+#: :class:`~repro.cache.kernel.CacheKernel`.
+CACHE_KERNEL_PATHS: Tuple[str, ...] = (
+    "repro/cache/",
+)
 
 #: Modules allowed to import / call the stdlib ``random`` module.
 RANDOM_ALLOWED_PATHS: Tuple[str, ...] = (

@@ -50,6 +50,7 @@ class Chunk:
     """One fixed-size cached block as a list of network buffers."""
 
     __slots__ = ("key", "dirty", "pins", "lbn_hint", "generation",
+                 "cache_handle",
                  "_payload", "_buffers", "_frag", "_flavor", "_csum_known",
                  "__weakref__")
 
@@ -68,6 +69,8 @@ class Chunk:
         #: Bumped when the backing data is overwritten or the chunk is
         #: remapped FHO→LBN; stamped onto the chunk's extent views.
         self.generation = 0
+        #: The store's eviction-kernel handle while resident, else None.
+        self.cache_handle: Optional[int] = None
         self._payload: Optional[Payload] = None
         self._frag = 0
         self._flavor = BufferFlavor.SK_BUFF
@@ -99,6 +102,7 @@ class Chunk:
         self.pins = 0
         self.lbn_hint = lbn_hint
         self.generation = 0
+        self.cache_handle = None
         self._payload = payload
         self._frag = fragment_size
         self._flavor = flavor

@@ -177,7 +177,7 @@ class NCacheModule:
             costs.ncache_lookup_ns + costs.ncache_mgmt_ns, "ncache.insert")
         footprint = chunk.footprint(self.store.per_buffer_overhead,
                                     self.store.per_chunk_overhead)
-        victims = self.store.make_room(footprint)
+        victims = self.store.make_room(footprint, key=chunk.key)
         for victim in victims:
             yield from self._write_back_chunk(victim)
         self.store.insert(chunk)

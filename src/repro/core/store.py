@@ -2,11 +2,16 @@
 
 "The network-centric cache in an NFS server is decomposed into two parts:
 an LBN cache and an FHO cache, because there are two sources of data"
-(§3.4).  Both caches share one LRU list of chunks and one memory budget
-(the pinned network-buffer pool).  Replacement is the paper's: touch moves
-a chunk to the tail; reclamation takes from the head; clean chunks are
-freed, dirty chunks are written back first (the store hands dirty victims
-to the caller, which owns the I/O path).
+(§3.4).  Both caches share one recency list of chunks and one memory
+budget (the pinned network-buffer pool).  Replacement defaults to the
+paper's classic LRU: touch moves a chunk to the tail; reclamation takes
+from the head; clean chunks are freed, dirty chunks are written back
+first (the store hands dirty victims to the caller, which owns the I/O
+path).  Recency/eviction bookkeeping is delegated to the unified
+:mod:`repro.cache` kernel (DESIGN.md §9), which also opens the
+replacement *policy* (``lru``/``clock``/``slru``/``arc``) and optional
+keyspace *sharding* as experiment axes — with ``policy="lru",
+shards=1`` (the default) behavior is identical to the paper's.
 
 Beyond the paper's text, the store completes the design with two pieces of
 necessary engineering, both flagged in DESIGN.md:
@@ -20,14 +25,16 @@ necessary engineering, both flagged in DESIGN.md:
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Union
 
+from ..cache import CacheKernel, ShardedKernel
 from ..check import sanitizer as _sanitizer
 from ..obs.trace import TraceBus
 from ..sim.stats import CounterSet
 from .chunk import Chunk
 from .keys import FhoKey, LbnKey
+
+AnyKernel = Union[CacheKernel, ShardedKernel]
 
 
 class NCacheStore:
@@ -37,10 +44,11 @@ class NCacheStore:
                  per_buffer_overhead: int = 160,
                  per_chunk_overhead: int = 64,
                  counters: Optional[CounterSet] = None,
-                 trace: Optional[TraceBus] = None) -> None:
+                 trace: Optional[TraceBus] = None,
+                 policy: str = "lru",
+                 shards: int = 1) -> None:
         if capacity_bytes < chunk_size:
             raise ValueError("capacity smaller than one chunk")
-        self.capacity_bytes = capacity_bytes
         self.chunk_size = chunk_size
         self.per_buffer_overhead = per_buffer_overhead
         self.per_chunk_overhead = per_chunk_overhead
@@ -52,20 +60,59 @@ class NCacheStore:
             "ncache.used.bytes", unit="bytes")
         self._lbn: Dict[LbnKey, Chunk] = {}
         self._fho: Dict[FhoKey, Chunk] = {}
-        self._lru: "OrderedDict[int, Chunk]" = OrderedDict()
-        self._used = 0
+        if shards > 1:
+            sharded = ShardedKernel(
+                "ncache", capacity_bytes, policy, shards,
+                counters=self.counters, trace=trace)
+            self._kernel: AnyKernel = sharded
+            promote: Callable[[int], None] = sharded.policy_touch
+            ghost_probe: Callable[[Hashable], bool] = sharded.ghost_probe
+        else:
+            flat = CacheKernel(
+                "ncache", capacity_bytes, policy,
+                counters=self.counters, trace=trace)
+            self._kernel = flat
+            promote = flat.policy.touch
+            ghost_probe = flat.policy.ghost_hit
+        # Hot path: lookups dominate the simulation profile, so resolve
+        # the kernel indirection (kernel.touch -> policy.touch ->
+        # counter bump) into direct callables and Counter objects once.
+        self._promote = promote
+        self._ghost_probe = ghost_probe
+        metrics = self._kernel.metrics
+        self._m_hit = metrics.hit
+        self._m_miss = metrics.miss
+        self._m_ghost = metrics.ghost_hit
+        self._c_lbn_hit = self.counters["ncache.lbn_hit"]
+        self._c_lbn_miss = self.counters["ncache.lbn_miss"]
+        self._c_fho_hit = self.counters["ncache.fho_hit"]
+        self._c_fho_miss = self.counters["ncache.fho_miss"]
         #: callbacks ``fn(chunk)`` invoked when a chunk leaves the store.
         self.reclaim_listeners: List[Callable[[Chunk], None]] = []
 
     # -- inspection ------------------------------------------------------------
 
     @property
+    def capacity_bytes(self) -> int:
+        return self._kernel.capacity_bytes
+
+    @capacity_bytes.setter
+    def capacity_bytes(self, nbytes: int) -> None:
+        # No immediate eviction: an over-budget store sheds chunks at
+        # the next make_room, exactly as before the kernel refactor.
+        self._kernel.capacity_bytes = nbytes
+
+    @property
+    def policy_name(self) -> str:
+        return self._kernel.policy_name
+
+    @property
     def used_bytes(self) -> int:
-        return self._used
+        return self._kernel.used_bytes
 
     @property
     def n_chunks(self) -> int:
-        return len(self._lru)
+        return len(self._kernel)
 
     @property
     def n_lbn(self) -> int:
@@ -75,8 +122,15 @@ class NCacheStore:
     def n_fho(self) -> int:
         return len(self._fho)
 
+    def chunks(self) -> Iterator[Chunk]:
+        """Resident chunks in eviction order (cold to hot) — the public
+        replacement-order view the property battery compares against its
+        reference models."""
+        for _, chunk in self._kernel.items():
+            yield chunk
+
     def dirty_chunks(self) -> List[Chunk]:
-        return [c for c in self._lru.values() if c.dirty]
+        return [c for c in self.chunks() if c.dirty]
 
     def _footprint(self, chunk: Chunk) -> int:
         return chunk.footprint(self.per_buffer_overhead,
@@ -87,21 +141,31 @@ class NCacheStore:
     def lookup_lbn(self, key: LbnKey, touch: bool = True) -> Optional[Chunk]:
         chunk = self._lbn.get(key)
         if chunk is None:
-            self.counters.add("ncache.lbn_miss")
+            self._c_lbn_miss._total += 1
+            self._m_miss._total += 1
+            if self._ghost_probe(key):
+                self._m_ghost._total += 1
             return None
-        self.counters.add("ncache.lbn_hit")
+        self._c_lbn_hit._total += 1
+        self._m_hit._total += 1
         if touch:
-            self._touch(chunk)
+            assert chunk.cache_handle is not None
+            self._promote(chunk.cache_handle)
         return chunk
 
     def lookup_fho(self, key: FhoKey, touch: bool = True) -> Optional[Chunk]:
         chunk = self._fho.get(key)
         if chunk is None:
-            self.counters.add("ncache.fho_miss")
+            self._c_fho_miss._total += 1
+            self._m_miss._total += 1
+            if self._ghost_probe(key):
+                self._m_ghost._total += 1
             return None
-        self.counters.add("ncache.fho_hit")
+        self._c_fho_hit._total += 1
+        self._m_hit._total += 1
         if touch:
-            self._touch(chunk)
+            assert chunk.cache_handle is not None
+            self._promote(chunk.cache_handle)
         return chunk
 
     def resolve(self, fho_key: Optional[FhoKey], lbn_key: Optional[LbnKey],
@@ -114,42 +178,41 @@ class NCacheStore:
             chunk = self.lookup_lbn(lbn_key, touch)
         return chunk
 
-    def _touch(self, chunk: Chunk) -> None:
-        self._lru.move_to_end(id(chunk))
-
     # -- insertion / eviction ------------------------------------------------------
 
-    def make_room(self, nbytes: int) -> List[Chunk]:
-        """Evict LRU chunks until ``nbytes`` fit; return dirty victims.
+    def make_room(self, nbytes: int,
+                  key: Optional[Union[LbnKey, FhoKey]] = None) -> List[Chunk]:
+        """Evict chunks until ``nbytes`` fit; return dirty victims.
 
         Pinned chunks are skipped.  Every victim (clean or dirty) is
         removed from both indexes and announced to reclaim listeners;
-        dirty victims are returned for the caller to write back.
+        dirty victims are returned for the caller to write back.  When
+        the store is sharded, ``key`` — the key about to be inserted —
+        routes the reservation to the responsible shard.
+
+        Raises :class:`~repro.cache.CacheStallError` (a RuntimeError)
+        when every resident chunk is pinned.
         """
-        dirty_victims: List[Chunk] = []
-        while self.capacity_bytes - self._used < nbytes:
-            victim = self._pick_victim()
-            if victim is None:
-                raise RuntimeError(
-                    "NCache cannot make room: all chunks pinned")
-            self._remove(victim)
-            if victim.dirty:
-                dirty_victims.append(victim)
-                self.counters.add("ncache.evict_dirty")
-            else:
-                self.counters.add("ncache.evict_clean")
-        return dirty_victims
+        return self._kernel.make_room(nbytes, key=key,
+                                      on_evict=self._evicted)
 
-    def _pick_victim(self) -> Optional[Chunk]:
-        for chunk in self._lru.values():  # head = least recently used
-            if not chunk.pinned:
-                return chunk
-        return None
+    def resize(self, new_capacity_bytes: int) -> List[Chunk]:
+        """Shrink/grow the byte budget (the §3.4 squeeze protocol);
+        returns dirty victims exactly like :meth:`make_room`."""
+        return self._kernel.resize(new_capacity_bytes,
+                                   on_evict=self._evicted)
 
-    def _remove(self, chunk: Chunk) -> None:
-        del self._lru[id(chunk)]
-        self._used -= self._footprint(chunk)
-        self._used_gauge.set(self._used)
+    def _evicted(self, chunk: Chunk) -> None:
+        self._detach(chunk)
+        if chunk.dirty:
+            self.counters.add("ncache.evict_dirty")
+        else:
+            self.counters.add("ncache.evict_clean")
+
+    def _detach(self, chunk: Chunk) -> None:
+        """Consumer-side bookkeeping after the kernel dropped a chunk."""
+        chunk.cache_handle = None
+        self._used_gauge.set(self._kernel.used_bytes)
         # Pop the index entry only if it still points at this chunk — a
         # remap may already have installed a replacement under this key.
         index = self._lbn if isinstance(chunk.key, LbnKey) else self._fho
@@ -177,14 +240,17 @@ class NCacheStore:
         existing = index.get(chunk.key)
         footprint = self._footprint(chunk)
         freed = self._footprint(existing) if existing is not None else 0
-        if self.capacity_bytes - self._used + freed < footprint:
+        if self._kernel.free_bytes_for(chunk.key) + freed < footprint:
             raise RuntimeError("insert without room; call make_room() first")
-        self._used += footprint
-        self._used_gauge.set(self._used)
-        self._lru[id(chunk)] = chunk
+        if existing is chunk:
+            return  # already resident under this key; nothing to do
+        chunk.cache_handle = self._kernel.insert(chunk.key, chunk, footprint)
+        self._used_gauge.set(self._kernel.used_bytes)
         index[chunk.key] = chunk
-        if existing is not None and existing is not chunk:
-            self._remove(existing)
+        if existing is not None:
+            assert existing.cache_handle is not None
+            self._kernel.remove(existing.cache_handle)
+            self._detach(existing)
             self.counters.add("ncache.overwrite")
         san = _sanitizer.active()
         if san is not None:
@@ -193,8 +259,10 @@ class NCacheStore:
 
     def drop(self, chunk: Chunk) -> None:
         """Explicitly remove a chunk (invalidation)."""
-        if id(chunk) in self._lru:
-            self._remove(chunk)
+        handle = chunk.cache_handle
+        if handle is not None and self._kernel.get(handle) is chunk:
+            self._kernel.remove(handle)
+            self._detach(chunk)
 
     # -- remapping -------------------------------------------------------------------
 
@@ -217,10 +285,16 @@ class NCacheStore:
         # restamp the chunk's extent views at a new generation so stale
         # pre-remap views are distinguishable without byte comparison.
         chunk.bump_generation()
+        assert chunk.cache_handle is not None
+        # In-shard rekey keeps the recency position; across shards the
+        # entry re-enters at the target shard's MRU.
+        chunk.cache_handle = self._kernel.rekey(chunk.cache_handle, lbn_key)
         self._lbn[lbn_key] = chunk  # installed before the stale removal so
         # reclaim listeners observe the block as still resolvable
         if stale is not None and stale is not chunk:
-            self._remove(stale)
+            assert stale.cache_handle is not None
+            self._kernel.remove(stale.cache_handle)
+            self._detach(stale)
             self.counters.add("ncache.remap_overwrite")
         self.counters.add("ncache.remap")
         san = _sanitizer.active()

@@ -27,7 +27,8 @@ import argparse
 import sys
 from pathlib import Path
 
-from . import ablations, figure4, figure5, figure6, figure7, table1, table2
+from . import (ablations, figure4, figure5, figure6, figure7,
+               policy_ablation, table1, table2)
 from .parallel import n_trace_events, write_merged_chrome, write_merged_jsonl
 
 RUNNERS = {
@@ -44,6 +45,8 @@ RUNNERS = {
     "figure7": lambda quick, workers, sink, stats:
         [figure7.run(quick, workers, sink, stats)],
     "ablations": ablations.run,
+    "policy_ablation": lambda quick, workers, sink, stats:
+        [policy_ablation.run(quick, workers, sink, stats)],
 }
 
 

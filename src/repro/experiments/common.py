@@ -133,7 +133,7 @@ def _warm_ncache(testbed, ranked_names: Sequence[str]) -> None:
         # the workload actually touches.
         chunk = Chunk.from_payload(LbnKey(lun, lbn), payload, mss,
                                    csum_known=True)
-        for victim in store.make_room(footprint):
+        for victim in store.make_room(footprint, key=chunk.key):
             raise RuntimeError("dirty victim during warm start")
         store.insert(chunk)
     # FS cache: hottest blocks as key-only pages.

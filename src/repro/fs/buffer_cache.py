@@ -1,24 +1,35 @@
 """The file-system buffer/page cache (Linux page-cache analog).
 
-An LRU cache of fixed-size blocks keyed by LBN.  Under NCache the entries
-hold :class:`~repro.core.keys.KeyedPayload` placeholders ("the retrieved
-block contains only a key and some 'junk' data", §3.2) — but they still
-occupy a full page each, which is exactly the double-buffering problem the
-paper controls by *limiting this cache's size* (§3.4/§4.1).
+A recency-managed cache of fixed-size blocks keyed by LBN.  Under NCache
+the entries hold :class:`~repro.core.keys.KeyedPayload` placeholders
+("the retrieved block contains only a key and some 'junk' data", §3.2) —
+but they still occupy a full page each, which is exactly the
+double-buffering problem the paper controls by *limiting this cache's
+size* (§3.4/§4.1).
 
 Eviction follows the paper: "first clean buffers are reclaimed and then
 dirty buffers are flushed and reclaimed".  The cache itself never performs
 I/O: :meth:`make_room` hands dirty victims back to the caller (the VFS),
 which writes them back through the block device — under NCache that
 writeback is what triggers FHO→LBN *remapping*.
+
+The cache is a thin adapter over the unified :mod:`repro.cache` eviction
+kernel (DESIGN.md §9): the kernel owns the byte budget, recency order
+(``clean_first`` victim preference, page-lock pinning) and the
+``cache.bcache.*`` metrics; this class keeps the LBN index, the
+``bcache.*`` counters/trace events and the sanitizer hook.  When only
+pinned pages remain the reclaim loop cannot make progress — the kernel
+emits a ``bcache.evict_stalled`` trace event and raises
+:class:`~repro.cache.CacheStallError` (a RuntimeError) instead of
+silently spinning.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from ..cache import CacheKernel
 from ..check import sanitizer as _sanitizer
 from ..net.buffer import Payload
 from ..obs.trace import TraceBus
@@ -42,6 +53,8 @@ class CacheEntry:
     #: page-lock count: pinned pages are skipped by eviction, exactly like
     #: locked pages during in-flight I/O in a real kernel.
     pins: int = 0
+    #: the eviction kernel's handle while resident, else None.
+    cache_handle: Optional[int] = None
 
     @property
     def pinned(self) -> bool:
@@ -53,21 +66,50 @@ class CacheEntry:
 
 
 class BufferCache:
-    """LRU page cache with byte capacity and clean-first eviction."""
+    """Page cache with byte capacity and clean-first eviction."""
 
     def __init__(self, capacity_bytes: int, block_size: int = BLOCK_SIZE,
                  counters: Optional[CounterSet] = None,
-                 trace: Optional[TraceBus] = None) -> None:
+                 trace: Optional[TraceBus] = None,
+                 policy: str = "lru") -> None:
         if capacity_bytes < block_size:
             raise ValueError("cache smaller than one block")
-        self.capacity_bytes = capacity_bytes
         self.block_size = block_size
         self.counters = counters if counters is not None else CounterSet()
         #: structured trace bus — optional so the cache stays standalone.
         self.trace = trace
-        self._entries: "OrderedDict[int, CacheEntry]" = OrderedDict()
+        self._entries: Dict[int, CacheEntry] = {}
+        self._kernel = CacheKernel(
+            "bcache", capacity_bytes, policy, clean_first=True,
+            counters=self.counters, trace=trace,
+            stall_event="bcache.evict_stalled", trace_cat="fs")
+        # Hot path: every simulated read probes this cache, so resolve
+        # the kernel indirection (kernel.touch -> policy.touch ->
+        # counter bump) into direct callables and Counter objects once.
+        self._promote = self._kernel.policy.touch
+        self._ghost_probe = self._kernel.policy.ghost_hit
+        metrics = self._kernel.metrics
+        self._m_hit = metrics.hit
+        self._m_miss = metrics.miss
+        self._m_ghost = metrics.ghost_hit
+        self._c_hit = self.counters["bcache.hit"]
+        self._c_miss = self.counters["bcache.miss"]
 
     # -- inspection ---------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._kernel.capacity_bytes
+
+    @capacity_bytes.setter
+    def capacity_bytes(self, nbytes: int) -> None:
+        # No immediate eviction: an over-budget cache sheds entries at
+        # the next make_room, exactly as before the kernel refactor.
+        self._kernel.capacity_bytes = nbytes
+
+    @property
+    def policy_name(self) -> str:
+        return self._kernel.policy_name
 
     @property
     def used_bytes(self) -> int:
@@ -84,65 +126,66 @@ class BufferCache:
         return lbn in self._entries
 
     def dirty_lbns(self) -> List[int]:
-        """Dirty blocks, least-recently-used first."""
-        return [e.lbn for e in self._entries.values() if e.dirty]
+        """Dirty blocks, coldest (best victim) first."""
+        return [entry.lbn for _, entry in self._kernel.items()
+                if entry.dirty]
 
     # -- lookup / insert ------------------------------------------------------
 
     def lookup(self, lbn: int, touch: bool = True) -> Optional[CacheEntry]:
         entry = self._entries.get(lbn)
         if entry is None:
-            self.counters.add("bcache.miss")
+            self._c_miss._total += 1
+            self._m_miss._total += 1
+            if self._ghost_probe(lbn):
+                self._m_ghost._total += 1
             if self.trace is not None and self.trace.enabled:
                 self.trace.emit("bcache.miss", cat="fs", lbn=lbn)
             return None
-        self.counters.add("bcache.hit")
+        self._c_hit._total += 1
+        self._m_hit._total += 1
         if self.trace is not None and self.trace.enabled:
             self.trace.emit("bcache.hit", cat="fs", lbn=lbn)
         if touch:
-            self._entries.move_to_end(lbn)
+            assert entry.cache_handle is not None
+            self._promote(entry.cache_handle)
         return entry
 
     def peek(self, lbn: int) -> Optional[CacheEntry]:
-        """Lookup without LRU side effects or hit/miss accounting."""
+        """Lookup without recency side effects or hit/miss accounting."""
         return self._entries.get(lbn)
 
-    def make_room(self, nblocks: int = 1) -> List[CacheEntry]:
+    def make_room(self, nblocks: int = 1,
+                  lbn: Optional[int] = None) -> List[CacheEntry]:
         """Evict until ``nblocks`` fit; return dirty victims to write back.
 
-        Clean victims are reclaimed silently (oldest first); dirty victims
-        are removed from the cache and returned — the caller must flush
-        them before their memory is considered reusable (the simulation
-        enforces this by having the VFS write them back before inserting).
+        Clean victims are reclaimed silently (coldest first); dirty
+        victims are removed from the cache and returned — the caller must
+        flush them before their memory is considered reusable (the
+        simulation enforces this by having the VFS write them back before
+        inserting).  When every remaining page is pinned the kernel
+        emits ``bcache.evict_stalled`` and raises
+        :class:`~repro.cache.CacheStallError`.
         """
-        needed = nblocks * self.block_size
-        dirty_victims: List[CacheEntry] = []
-        while self.capacity_bytes - self.used_bytes < needed:
-            victim = self._pick_victim()
-            if victim is None:
-                raise RuntimeError("buffer cache cannot make room")
-            del self._entries[victim.lbn]
-            if victim.dirty:
-                dirty_victims.append(victim)
-                self.counters.add("bcache.evict_dirty")
-            else:
-                self.counters.add("bcache.evict_clean")
-            if self.trace is not None and self.trace.enabled:
-                self.trace.emit("bcache.evict", cat="fs", lbn=victim.lbn,
-                                dirty=victim.dirty)
-        return dirty_victims
+        return self._kernel.make_room(nblocks * self.block_size, key=lbn,
+                                      on_evict=self._evicted)
 
-    def _pick_victim(self) -> Optional[CacheEntry]:
-        chosen: Optional[CacheEntry] = None
-        for entry in self._entries.values():  # LRU order
-            if not entry.dirty and not entry.pinned:
-                chosen = entry
-                break
-        if chosen is None:
-            # No clean buffer: reclaim the LRU unpinned dirty one.
-            chosen = next((e for e in self._entries.values()
-                           if not e.pinned), None)
-        return chosen
+    def resize(self, new_capacity_bytes: int) -> List[CacheEntry]:
+        """Change the byte budget (the NCache-squeezes-FS-cache side of
+        §3.4); returns dirty victims exactly like :meth:`make_room`."""
+        return self._kernel.resize(new_capacity_bytes,
+                                   on_evict=self._evicted)
+
+    def _evicted(self, entry: CacheEntry) -> None:
+        entry.cache_handle = None
+        del self._entries[entry.lbn]
+        if entry.dirty:
+            self.counters.add("bcache.evict_dirty")
+        else:
+            self.counters.add("bcache.evict_clean")
+        if self.trace is not None and self.trace.enabled:
+            self.trace.emit("bcache.evict", cat="fs", lbn=entry.lbn,
+                            dirty=entry.dirty)
 
     def pin(self, lbn: int) -> bool:
         """Page-lock a block against eviction; True if it was present."""
@@ -160,17 +203,25 @@ class BufferCache:
     def insert(self, lbn: int, payload: Payload, dirty: bool = False,
                is_metadata: bool = False) -> CacheEntry:
         """Insert or replace a block; caller must have made room first."""
-        if self.capacity_bytes - self.used_bytes < self.block_size \
-                and lbn not in self._entries:
+        # len()-based arithmetic, not the properties: this path runs once
+        # per block entering the cache.
+        if self._kernel.capacity_bytes - len(self._entries) * self.block_size \
+                < self.block_size and lbn not in self._entries:
             raise RuntimeError(
                 "insert without room; call make_room() and flush victims")
         san = _sanitizer.active()
         if san is not None:
             san.fs_page_inserted(lbn, payload)
+        old = self._entries.get(lbn)
+        if old is not None:
+            assert old.cache_handle is not None
+            self._kernel.remove(old.cache_handle)
+            old.cache_handle = None
         entry = CacheEntry(lbn=lbn, payload=payload, dirty=dirty,
                            is_metadata=is_metadata)
+        entry.cache_handle = self._kernel.insert(lbn, entry,
+                                                 self.block_size)
         self._entries[lbn] = entry
-        self._entries.move_to_end(lbn)
         return entry
 
     # -- state changes -----------------------------------------------------------
@@ -181,10 +232,14 @@ class BufferCache:
             entry.dirty = False
 
     def invalidate(self, lbn: int) -> None:
-        self._entries.pop(lbn, None)
+        entry = self._entries.pop(lbn, None)
+        if entry is not None and entry.cache_handle is not None:
+            self._kernel.remove(entry.cache_handle)
+            entry.cache_handle = None
 
     def clear(self) -> None:
         self._entries.clear()
+        self._kernel.clear()
 
     def hit_ratio(self) -> float:
         hits = self.counters["bcache.hit"].value

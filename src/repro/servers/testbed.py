@@ -94,7 +94,8 @@ class BaseTestbed:
             Endpoint("storage-0", ISCSI_PORT), discipline=discipline)
         self.cache = BufferCache(config.fs_cache_bytes,
                                  counters=self.server_host.counters,
-                                 trace=self.sim.trace)
+                                 trace=self.sim.trace,
+                                 policy=config.cache_policy)
         self.vfs = VFS(self.server_host, self.image, self.cache,
                        self.initiator, discipline,
                        readahead_blocks=config.readahead_blocks)
@@ -107,7 +108,9 @@ class BaseTestbed:
                 per_buffer_overhead=config.ncache_per_buffer_overhead,
                 per_chunk_overhead=config.ncache_per_chunk_overhead,
                 inherit_checksums=config.ncache_inherit_checksums,
-                enable_remap=config.ncache_enable_remap)
+                enable_remap=config.ncache_enable_remap,
+                policy=config.cache_policy,
+                shards=config.cache_shards)
 
         # Clients.
         self.client_hosts: List[Host] = []

@@ -169,6 +169,26 @@ class TestPinning:
         with pytest.raises(RuntimeError):
             cache.make_room(1)
 
+    def test_all_pinned_stall_is_typed_and_traced(self):
+        from repro.cache import CacheStallError
+        from repro.obs.trace import TraceBus
+
+        class Clock:
+            now = 0.0
+
+        trace = TraceBus(clock=Clock()).enable()
+        cache = BufferCache(2 * BLOCK_SIZE, trace=trace)
+        fill(cache, [1, 2])
+        cache.pin(1)
+        cache.pin(2)
+        with pytest.raises(CacheStallError):
+            cache.make_room(1)
+        stalls = [e for e in trace.events
+                  if e.name == "bcache.evict_stalled"]
+        assert len(stalls) == 1
+        assert stalls[0].args["entries"] == 2
+        assert stalls[0].args["capacity_bytes"] == 2 * BLOCK_SIZE
+
     def test_pinned_dirty_preferred_over_nothing(self):
         cache = cache_of(2)
         fill(cache, [1], dirty=True)

@@ -1,0 +1,319 @@
+"""The eviction kernel: budgets, victim selection, metrics, sharding."""
+
+import pytest
+
+from repro.cache import (CacheKernel, CacheStallError, POLICIES,
+                         ShardedKernel, make_policy)
+from repro.cache.sharded import default_shard_hash
+from repro.obs.trace import TraceBus
+from repro.sim.rng import substream
+
+
+class Item:
+    """Minimal kernel item: the two attributes eviction cares about."""
+
+    def __init__(self, dirty=False, pinned=False):
+        self.dirty = dirty
+        self.pinned = pinned
+
+
+class FakeClock:
+    now = 0.0
+
+
+def kernel_of(nbytes, **kw):
+    return CacheKernel("test", nbytes, **kw)
+
+
+def fill(kernel, keys, dirty=False):
+    out = {}
+    for key in keys:
+        kernel.make_room(1, key=key)
+        out[key] = kernel.insert(key, Item(dirty=dirty), 1)
+    return out
+
+
+class TestBudget:
+    def test_accounting(self):
+        k = kernel_of(4)
+        h = fill(k, "ab")
+        assert k.used_bytes == 2 and k.free_bytes == 2 and len(k) == 2
+        k.remove(h["a"])
+        assert k.used_bytes == 1 and "a" not in [key for key, _ in k.items()]
+
+    def test_make_room_evicts_lru_first(self):
+        k = kernel_of(3)
+        h = fill(k, "abc")
+        k.touch(h["a"])  # b is now coldest
+        k.make_room(1)
+        assert set(k.key_of(x) for x in (h["a"], h["c"])) == {"a", "c"}
+        assert h["b"] not in k
+
+    def test_dirty_victims_returned(self):
+        k = kernel_of(2)
+        fill(k, "a", dirty=True)
+        fill(k, "b")
+        victims = k.make_room(2)
+        assert [v.dirty for v in victims] == [True]
+
+    def test_insert_tolerates_transient_overshoot(self):
+        k = kernel_of(1)
+        fill(k, "a")
+        k.insert("b", Item(), 1)  # replacement flow: install before reclaim
+        assert k.used_bytes == 2
+        k.make_room(0)
+        assert k.used_bytes == 1
+
+    def test_resize_steal_grant(self):
+        k = kernel_of(4)
+        fill(k, "abcd")
+        victims = k.resize(2)
+        assert victims == [] and k.used_bytes == 2 and k.capacity_bytes == 2
+        k.grant(3)
+        assert k.capacity_bytes == 5
+        k.steal(1)
+        assert k.capacity_bytes == 4
+
+    def test_capacity_assignment_defers_eviction(self):
+        k = kernel_of(4)
+        fill(k, "abcd")
+        k.capacity_bytes = 2
+        assert len(k) == 4  # sheds at the next make_room, not now
+        k.make_room(0)
+        assert len(k) == 2
+
+
+class TestVictimSelection:
+    def test_pinned_skipped(self):
+        k = kernel_of(2)
+        k.insert("a", Item(pinned=True), 1)
+        fill(k, "b")
+        k.make_room(1)
+        assert [key for key, _ in k.items()] == ["a"]
+
+    def test_clean_first_prefers_clean_over_older_dirty(self):
+        k = kernel_of(2, clean_first=True)
+        fill(k, "a", dirty=True)
+        fill(k, "b")
+        victims = k.make_room(1)
+        assert victims == [] and [key for key, _ in k.items()] == ["a"]
+
+    def test_without_clean_first_oldest_goes(self):
+        k = kernel_of(2)
+        fill(k, "a", dirty=True)
+        fill(k, "b")
+        victims = k.make_room(1)
+        assert [v.dirty for v in victims] == [True]
+
+    def test_all_pinned_stalls(self):
+        k = kernel_of(1)
+        k.insert("a", Item(pinned=True), 1)
+        with pytest.raises(CacheStallError):
+            k.make_room(1)
+
+    def test_stall_emits_trace_event(self):
+        trace = TraceBus(clock=FakeClock()).enable()
+        k = CacheKernel("test", 1, trace=trace,
+                        stall_event="test.evict_stalled")
+        k.insert("a", Item(pinned=True), 1)
+        with pytest.raises(CacheStallError):
+            k.make_room(1)
+        stalls = [e for e in trace.events if e.name == "test.evict_stalled"]
+        assert len(stalls) == 1
+        assert stalls[0].args["entries"] == 1
+        assert stalls[0].args["used_bytes"] == 1
+
+
+class TestHandles:
+    def test_monotonic_never_reused(self):
+        """The id(chunk) regression: drop/insert cycles must never hand
+        out a handle that an earlier (freed) entry used."""
+        k = kernel_of(4)
+        seen = set()
+        for i in range(200):
+            h = k.insert(i, Item(), 1)
+            assert h not in seen
+            seen.add(h)
+            k.remove(h)
+
+    def test_rekey_in_place_keeps_position(self):
+        k = kernel_of(3)
+        h = fill(k, "abc")
+        assert k.rekey(h["a"], "z") == h["a"]
+        assert [key for key, _ in k.items()] == ["z", "b", "c"]
+
+    def test_get_none_and_missing(self):
+        k = kernel_of(2)
+        h = fill(k, "a")["a"]
+        assert k.get(None) is None
+        assert k.get(h + 1000) is None
+        assert k.get(h) is not None
+
+
+class TestMetrics:
+    def test_hit_miss_ghost(self):
+        k = kernel_of(2)
+        h = fill(k, "ab")
+        k.touch(h["a"])
+        k.record_miss("c")
+        assert k.counters["cache.test.hit"].value == 1
+        assert k.counters["cache.test.miss"].value == 1
+        assert k.counters["cache.test.ghost_hit"].value == 0
+        k.make_room(1)  # evicts b -> ghost
+        k.record_miss("b")
+        assert k.counters["cache.test.ghost_hit"].value == 1
+        assert k.counters["cache.test.evict_clean"].value == 1
+
+    def test_remove_records_no_ghost(self):
+        k = kernel_of(2)
+        h = fill(k, "a")
+        k.remove(h["a"])
+        k.record_miss("a")
+        assert k.counters["cache.test.ghost_hit"].value == 0
+
+    def test_dirty_evict_counter(self):
+        k = kernel_of(1)
+        fill(k, "a", dirty=True)
+        k.make_room(1)
+        assert k.counters["cache.test.evict_dirty"].value == 1
+
+
+class TestPolicyRegistry:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("mru")
+
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_every_policy_drives_the_kernel(self, name):
+        k = kernel_of(4, policy=name)
+        assert k.policy_name == name
+        h = fill(k, "abcdef")  # forces evictions through the policy
+        assert len(k) == 4 and k.used_bytes == 4
+        live = [x for x in h.values() if x in k]
+        k.touch(live[0])
+        k.make_room(1)
+        assert len(k) == 3
+
+
+class TestShardedKernel:
+    def test_budget_split_with_remainder(self):
+        s = ShardedKernel("test", 10, shards=4)
+        assert [sh.capacity_bytes for sh in s.shards] == [4, 2, 2, 2]
+        assert s.capacity_bytes == 10
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ShardedKernel("test", 8, shards=0)
+
+    def test_handle_routing(self):
+        s = ShardedKernel("test", 8, shards=4)
+        for key in range(20):
+            h = s.insert(key, Item(), 0)
+            assert s.shard_for_handle(h) is s.shard_for_key(key)
+            assert s.key_of(h) == key
+
+    def test_key_routing_is_deterministic(self):
+        assignments = [default_shard_hash(k) % 4 for k in range(64)]
+        assert assignments == [default_shard_hash(k) % 4 for k in range(64)]
+        assert len(set(assignments)) == 4  # keys actually spread
+
+    def test_make_room_routes_by_key(self):
+        s = ShardedKernel("test", 8, shards=2)
+        key = 7
+        shard = s.shard_for_key(key)
+        other = s.shards[1 - s.shards.index(shard)]
+        for k in range(40):  # fill both shards
+            if s.free_bytes_for(k):
+                s.insert(k, Item(), 1)
+        before_other = len(other)
+        s.make_room(1, key=key)
+        assert len(other) == before_other  # only key's shard evicted
+        assert shard.free_bytes >= 1
+
+    def test_keyless_make_room_drains_fullest(self):
+        s = ShardedKernel("test", 8, shards=2)
+        for k in range(40):
+            if s.free_bytes_for(k):
+                s.insert(k, Item(), 1)
+        s.make_room(2)
+        assert all(sh.free_bytes >= 2 for sh in s.shards)
+
+    def test_cross_shard_rekey_migrates(self):
+        s = ShardedKernel("test", 8, shards=4)
+        old_key = 0
+        new_key = next(k for k in range(1, 64)
+                       if s.shard_for_key(k) is not s.shard_for_key(old_key))
+        h = s.insert(old_key, Item(), 1)
+        h2 = s.rekey(h, new_key)
+        assert s.shard_for_handle(h2) is s.shard_for_key(new_key)
+        assert s.key_of(h2) == new_key and len(s) == 1
+
+    def test_shared_metric_family(self):
+        s = ShardedKernel("test", 4, shards=2)
+        h = [s.insert(k, Item(), 1) for k in range(4)]
+        for x in h:
+            s.touch(x)
+        s.record_miss(99)
+        assert s.counters["cache.test.hit"].value == 4
+        assert s.counters["cache.test.miss"].value == 1
+
+    def test_capacity_setter_redivides_without_evicting(self):
+        s = ShardedKernel("test", 8, shards=2)
+        for k in range(40):
+            if s.free_bytes_for(k):
+                s.insert(k, Item(), 1)
+        n = len(s)
+        s.capacity_bytes = 4
+        assert len(s) == n and s.capacity_bytes == 4
+        s.make_room(0, key=0)
+        s.make_room(0, key=1)
+
+    def test_resize_evicts_down(self):
+        s = ShardedKernel("test", 8, shards=2)
+        for k in range(40):
+            if s.free_bytes_for(k):
+                s.insert(k, Item(), 1)
+        s.resize(4)
+        assert s.used_bytes <= 4 and s.capacity_bytes == 4
+
+
+class TestShardedDeterminism:
+    """shards=1 must be bit-identical to the unsharded kernel."""
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_single_shard_matches_unsharded(self, policy):
+        rng = substream(7, "cache-shard-determinism")
+        flat = CacheKernel("test", 16, policy=policy)
+        one = ShardedKernel("test", 16, policy=policy, shards=1)
+        handles = {}  # key -> (flat handle, sharded handle)
+        for step in range(600):
+            op = rng.choice(["insert", "touch", "miss", "remove"])
+            key = rng.randrange(32)
+            if op == "insert" and key not in handles:
+                va = flat.make_room(1, key=key,
+                                    on_evict=lambda it: None)
+                vb = one.make_room(1, key=key,
+                                   on_evict=lambda it: None)
+                assert len(va) == len(vb)
+                for k in [k for k, (hf, _) in handles.items()
+                          if hf not in flat]:
+                    del handles[k]
+                handles[key] = (flat.insert(key, Item(), 1),
+                                one.insert(key, Item(), 1))
+            elif op == "touch" and key in handles:
+                hf, hs = handles[key]
+                flat.touch(hf)
+                one.touch(hs)
+            elif op == "miss" and key not in handles:
+                flat.record_miss(key)
+                one.record_miss(key)
+            elif op == "remove" and key in handles:
+                hf, hs = handles.pop(key)
+                flat.remove(hf)
+                one.remove(hs)
+            assert [k for k, _ in flat.items()] == \
+                [k for k, _ in one.items()]
+        for name in ("hit", "miss", "ghost_hit", "evict_clean",
+                     "evict_dirty"):
+            assert flat.counters[f"cache.test.{name}"].value == \
+                one.counters[f"cache.test.{name}"].value, name

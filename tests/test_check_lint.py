@@ -196,6 +196,81 @@ class TestEngineDiscipline:
         assert not active(diags, "engine-discipline")
 
 
+class TestCacheDiscipline:
+    VIOLATION = """\
+        from collections import OrderedDict
+
+        class MiniLru:
+            def __init__(self):
+                self.order = OrderedDict()
+
+            def touch(self, k):
+                self.order.move_to_end(k)
+    """
+
+    def test_ordereddict_recency_class_flagged(self, tmp_path):
+        found = active(lint_source(tmp_path, self.VIOLATION),
+                       "cache-discipline")
+        assert found and "MiniLru" in found[0].message
+
+    def test_popitem_also_counts_as_recency(self, tmp_path):
+        diags = lint_source(tmp_path, """\
+            from collections import OrderedDict
+
+            class Fifo:
+                def __init__(self):
+                    self.q = OrderedDict()
+
+                def pop_oldest(self):
+                    return self.q.popitem(last=False)
+        """)
+        assert active(diags, "cache-discipline")
+
+    def test_plain_ordereddict_without_recency_calls_ok(self, tmp_path):
+        # An insertion-ordered map that never reorders is just a dict.
+        diags = lint_source(tmp_path, """\
+            from collections import OrderedDict
+
+            class Registry:
+                def __init__(self):
+                    self.items = OrderedDict()
+
+                def add(self, k, v):
+                    self.items[k] = v
+        """)
+        assert not active(diags, "cache-discipline")
+
+    def test_recency_calls_on_non_ordereddict_ok(self, tmp_path):
+        diags = lint_source(tmp_path, """\
+            class Wrapper:
+                def __init__(self, inner):
+                    self.inner = inner
+
+                def touch(self, k):
+                    self.inner.move_to_end(k)
+        """)
+        assert not active(diags, "cache-discipline")
+
+    def test_kernel_paths_exempt(self, tmp_path):
+        diags = lint_source(tmp_path, self.VIOLATION,
+                            name="repro/cache/policy.py")
+        assert not active(diags, "cache-discipline")
+
+    def test_suppression_honored(self, tmp_path):
+        src = ("from collections import OrderedDict\n"
+               "\n"
+               "class ReplayCache:\n"
+               "    def __init__(self):\n"
+               "        self.entries = OrderedDict()  "
+               "# check: ignore[cache-discipline] -- FIFO replay\n"
+               "\n"
+               "    def expire(self):\n"
+               "        self.entries.popitem(last=False)\n")
+        diags = lint_source(tmp_path, src)
+        flagged = [d for d in diags if d.rule == "cache-discipline"]
+        assert flagged and all(d.suppressed for d in flagged)
+
+
 class TestSuppressions:
     def test_inline_ignore_marks_suppressed(self, tmp_path):
         diags = lint_source(tmp_path, """\
@@ -235,7 +310,7 @@ class TestDriver:
     def test_rule_registry_complete(self):
         assert set(RULES) == {"no-wallclock", "no-global-random",
                               "copy-discipline", "trace-naming",
-                              "engine-discipline"}
+                              "engine-discipline", "cache-discipline"}
         for rule in all_rules():
             assert rule.summary and rule.invariant
 

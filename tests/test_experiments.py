@@ -7,7 +7,9 @@ the paper's qualitative orderings on single, cheap points.
 import pytest
 
 from repro.analysis import ExperimentResult, pct_gain, ratio
-from repro.experiments import figure5, figure6, table1, table2
+from repro.cache import POLICIES
+from repro.experiments import figure5, figure6, policy_ablation, table1, \
+    table2
 from repro.experiments.common import warm_caches
 from repro.servers import MB, ServerMode, TestbedConfig, WebTestbed
 from repro.workloads import SpecWebWorkload
@@ -142,3 +144,25 @@ class TestWarmStart:
         hottest = testbed.image.lookup(workload.paths[0])
         assert store.lookup_lbn(LbnKey(0, hottest.start_lbn),
                                 touch=False) is not None
+
+
+class TestPolicyAblation:
+    def test_grid_covers_every_policy_and_shard_count(self):
+        specs = policy_ablation.grid(quick=True)
+        assert len(specs) == (len(POLICIES)
+                              * len(policy_ablation.SHARD_COUNTS)
+                              * len(policy_ablation.WORKLOADS))
+        labels = {spec.label for spec in specs}
+        for policy in POLICIES:
+            for shards in policy_ablation.SHARD_COUNTS:
+                assert (f"policy_ablation/specsfs/{policy}/"
+                        f"{shards}shard" in labels)
+
+    def test_one_cell_reports_all_columns(self):
+        row = policy_ablation.measure_point("specweb", "clock", 2,
+                                            quick=True)
+        assert row["policy"] == "clock" and row["shards"] == 2
+        assert row["ops_per_sec"] > 0
+        assert 0.0 < row["hit_pct"] <= 100.0
+        for col in ("ghost_hit_pct", "fs_ghost_pct", "copied_kb_per_op"):
+            assert row[col] >= 0.0

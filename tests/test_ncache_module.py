@@ -179,7 +179,7 @@ class TestSubstitution:
             store = testbed.ncache.store
             chunk = store.lookup_lbn(LbnKey(0, inode.block_lbn(0)),
                                      touch=False)
-            store._remove(chunk)
+            store.drop(chunk)
             testbed.cache.insert(
                 inode.block_lbn(0),
                 KeyedPayload(BLOCK_SIZE,
@@ -310,7 +310,7 @@ class TestReclaimCoherence:
         lbn = inode.block_lbn(0)
         assert testbed.cache.peek(lbn) is not None
         chunk = store.lookup_lbn(LbnKey(0, lbn), touch=False)
-        store._remove(chunk)  # simulate pressure-reclaim of this chunk
+        store.drop(chunk)  # simulate pressure-reclaim of this chunk
         assert testbed.cache.peek(lbn) is None
         assert testbed.server_host.counters[
             "ncache.fs_page_invalidated"].value == 1

@@ -92,7 +92,7 @@ class RefStore:
 
 def _store_order(store: NCacheStore) -> list:
     out = []
-    for chunk in store._lru.values():
+    for chunk in store.chunks():
         kind = "lbn" if isinstance(chunk.key, LbnKey) else "fho"
         n = chunk.key.lbn if kind == "lbn" else chunk.key.ino
         out.append((kind, n))
@@ -198,6 +198,47 @@ def test_store_agrees_with_reference_model(seed):
         chunk = (store.lookup_lbn(LbnKey(0, n), touch=False) if kind == "lbn"
                  else store.lookup_fho(FhoKey(n, 1, 0), touch=False))
         assert chunk.payload().materialize() == ref.find(kind, n)["data"]
+
+
+def test_recency_order_survives_object_churn():
+    """Regression for the ``id(chunk)``-keyed LRU the store used to keep.
+
+    Create and drop chunks in bulk so CPython's allocator recycles their
+    addresses, then verify the survivors' recency order is exactly what
+    the op sequence dictates.  Under ``id()`` keys a recycled address
+    aliased a dead entry and silently corrupted the order; the kernel's
+    monotonic handles make this impossible.
+    """
+    import gc
+
+    store = NCacheStore(CAPACITY_CHUNKS * FOOTPRINT,
+                        per_buffer_overhead=160, per_chunk_overhead=64)
+    for round_no in range(50):
+        transient = []
+        for i in range(CAPACITY_CHUNKS - 2):
+            c = _chunk("fho", 100 + i, round_no)
+            store.make_room(FOOTPRINT)
+            store.insert(c)
+            transient.append(c)
+        for c in transient:
+            store.drop(c)
+        del transient
+        gc.collect()  # force address reuse for the next round's chunks
+        store.make_room(FOOTPRINT)
+        store.insert(_chunk("lbn", round_no % N_KEYS, round_no))
+    # The survivors are the most recent keeper keys in last-insertion
+    # order: each round's 4 transients squeeze the keeper population to
+    # 2 before a third is added, so rounds 47..49 (keys 7..9) remain —
+    # and no transient ever aliased a keeper's slot.
+    assert _store_order(store) == [("lbn", n) for n in range(7, 10)]
+    # Order integrity: untouched entries sit in insertion order, so
+    # their handles are strictly increasing cold-to-hot and unique.
+    handles = [c.cache_handle for c in store.chunks()]
+    assert handles == sorted(handles)
+    assert len(set(handles)) == len(handles)
+    # Index consistency: every survivor is reachable under its own key.
+    for chunk in list(store.chunks()):
+        assert store.lookup_lbn(chunk.key, touch=False) is chunk
 
 
 @pytest.mark.parametrize("seed", [11, 12])
