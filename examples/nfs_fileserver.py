@@ -10,7 +10,7 @@ sits in each case (the crux of Figures 4 and 5).
 Run:  python examples/nfs_fileserver.py
 """
 
-from repro.servers import NfsTestbed, ServerMode, TestbedConfig
+from repro.servers import ServerMode, TestbedSpec
 from repro.servers.testbed import run_until_complete
 from repro.workloads import AllHitReadWorkload, SequentialReadWorkload
 
@@ -26,8 +26,8 @@ def bottleneck(server_cpu: float, storage_cpu: float,
 
 
 def run_all_miss(mode: ServerMode) -> None:
-    config = TestbedConfig(mode=mode, n_daemons=24)
-    testbed = NfsTestbed(config, flush_interval_s=None)
+    testbed = TestbedSpec.nfs(mode, n_daemons=24,
+                              flush_interval_s=None).build()
     workload = SequentialReadWorkload(testbed, REQUEST_SIZE,
                                       file_size=256 << 20,
                                       streams_per_client=12)
@@ -41,8 +41,8 @@ def run_all_miss(mode: ServerMode) -> None:
 
 
 def run_all_hit(mode: ServerMode, n_nics: int) -> None:
-    config = TestbedConfig(mode=mode, n_server_nics=n_nics, n_daemons=8)
-    testbed = NfsTestbed(config, flush_interval_s=None)
+    testbed = TestbedSpec.nfs(mode, n_server_nics=n_nics, n_daemons=8,
+                              flush_interval_s=None).build()
     workload = AllHitReadWorkload(testbed, REQUEST_SIZE,
                                   streams_per_client=6)
     testbed.setup()

@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 from repro.copymodel import RequestTrace
 from repro.net.buffer import VirtualPayload
 from repro.nfs import read_reply_data
-from repro.servers import NfsTestbed, ServerMode, TestbedConfig
+from repro.servers import ServerMode, TestbedSpec
 from repro.servers.testbed import run_until_complete
 from repro.sim.process import start
 from repro.workloads import AllHitReadWorkload
@@ -20,8 +20,8 @@ from repro.workloads import AllHitReadWorkload
 
 def trace_one_mode(mode: ServerMode) -> dict:
     """Trace read-miss/read-hit/write requests through a fresh testbed."""
-    config = TestbedConfig(mode=mode, ncache_strict=True)
-    testbed = NfsTestbed(config, flush_interval_s=None)
+    testbed = TestbedSpec.nfs(mode, ncache_strict=True, n_daemons=8,
+                              flush_interval_s=None).build()
     testbed.image.create_file("demo.bin", 16 << 20)
     fh = testbed.file_handle("demo.bin")
     inode = testbed.image.lookup("demo.bin")
@@ -54,8 +54,8 @@ def trace_one_mode(mode: ServerMode) -> dict:
 
 def throughput_one_mode(mode: ServerMode) -> float:
     """A small cached-read throughput shootout (32 KB requests, 2 NICs)."""
-    config = TestbedConfig(mode=mode, n_server_nics=2)
-    testbed = NfsTestbed(config, flush_interval_s=None)
+    testbed = TestbedSpec.nfs(mode, n_server_nics=2, n_daemons=8,
+                              flush_interval_s=None).build()
     workload = AllHitReadWorkload(testbed, 32768, streams_per_client=6)
     testbed.setup()
     run_until_complete(testbed.sim, workload.prewarm())

@@ -10,7 +10,7 @@ server CPU consumed — the trace player's native figure of merit.
 Run:  python examples/trace_replay.py
 """
 
-from repro.servers import NfsTestbed, ServerMode, TestbedConfig
+from repro.servers import ServerMode, TestbedSpec
 from repro.servers.testbed import run_until_complete
 from repro.workloads import (
     TracePlayer,
@@ -40,8 +40,8 @@ def build_traces() -> dict:
 
 
 def replay(mode: ServerMode, trace) -> tuple:
-    config = TestbedConfig(mode=mode, n_daemons=8)
-    testbed = NfsTestbed(config, flush_interval_s=0.1)
+    testbed = TestbedSpec.nfs(mode, n_daemons=8,
+                              flush_interval_s=0.1).build()
     player = TracePlayer(testbed, trace, concurrency=8)
     testbed.setup()
     started = testbed.sim.now

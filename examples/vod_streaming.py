@@ -12,7 +12,7 @@ streams the server CPU sustains at a given per-stream bit rate.
 Run:  python examples/vod_streaming.py
 """
 
-from repro.servers import MB, ServerMode, TestbedConfig, WebTestbed
+from repro.servers import ServerMode, TestbedSpec
 from repro.servers.testbed import run_until_complete
 from repro.sim.process import start
 from repro.sim.rng import substream
@@ -25,9 +25,8 @@ STREAM_BIT_RATE = 8e6    # 8 Mbit/s per viewer
 
 
 def build(mode: ServerMode, viewers: int) -> tuple:
-    config = TestbedConfig(mode=mode, n_server_nics=2)
-    testbed = WebTestbed(config,
-                         connections_per_client=(viewers + 1) // 2)
+    testbed = TestbedSpec.web(
+        mode, connections_per_client=(viewers + 1) // 2).build()
     paths = []
     for v in range(VIDEOS):
         for s in range(SEGMENTS_PER_VIDEO):

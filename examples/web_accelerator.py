@@ -12,7 +12,7 @@ Run:  python examples/web_accelerator.py
 """
 
 from repro.experiments.common import scaled_memory_config, warm_caches
-from repro.servers import MB, ServerMode, TestbedConfig, WebTestbed
+from repro.servers import MB, ServerMode, TestbedSpec
 from repro.workloads import SpecWebWorkload
 
 #: Shrink the paper's 896 MB geometry 4x so the sweep runs in seconds.
@@ -21,9 +21,8 @@ WORKING_SETS_MB = (250, 500, 750, 900)
 
 
 def run_point(mode: ServerMode, working_set_mb: int) -> float:
-    overrides = scaled_memory_config(SCALE)
-    config = TestbedConfig(mode=mode, n_server_nics=2, **overrides)
-    testbed = WebTestbed(config, connections_per_client=6)
+    testbed = TestbedSpec.web(mode, connections_per_client=6,
+                              **scaled_memory_config(SCALE)).build()
     workload = SpecWebWorkload(
         testbed, working_set_bytes=working_set_mb * MB // SCALE)
     testbed.setup()

@@ -483,3 +483,36 @@ class CacheDiscipline(Rule):
                 and receiver.value.id == "self"):
             return receiver.attr
         return None
+
+
+# ---------------------------------------------------------------------------
+# no-legacy-factory
+# ---------------------------------------------------------------------------
+
+@register
+class NoLegacyFactory(Rule):
+    """New code builds testbeds from specs, not ``build_testbed()``."""
+
+    id = "no-legacy-factory"
+    summary = "no new callers of the deprecated build_testbed() factory"
+    invariant = ("spec API (DESIGN.md §10): testbeds are described by "
+                 "typed, picklable repro.servers.TestbedSpec/ClusterSpec "
+                 "values and built with .build(); the kwarg-soup "
+                 "build_testbed() survives only as a DeprecationWarning "
+                 "shim in repro/servers/factory.py")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if vocab.path_matches(ctx.posix,
+                              vocab.LEGACY_FACTORY_ALLOWED_PATHS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is not None \
+                    and name.split(".")[-1] == "build_testbed":
+                yield ctx.diag(
+                    self.id, node,
+                    f"call to deprecated factory {name}(): construct a "
+                    f"repro.servers.TestbedSpec (or ClusterSpec) and "
+                    f"call .build()")

@@ -41,6 +41,7 @@ SUBSYSTEMS: FrozenSet[str] = frozenset({
     "cpu",        # generic charged CPU time
     "disk",       # block device / RAID model
     "engine",     # simulator dispatch
+    "fleet",      # multi-server cluster: routing, peer cache traffic
     "fs",         # VFS operations
     "http",       # kHTTPd
     "iscsi",      # initiator / target
@@ -112,6 +113,13 @@ RANDOM_ALLOWED_PATHS: Tuple[str, ...] = (
 WALLCLOCK_ALLOWED_PATHS: Tuple[str, ...] = (
     "repro/experiments/parallel.py",
     "repro/perf/",
+)
+
+#: The deprecated testbed factory's own home: the only in-repo module
+#: allowed to reference ``build_testbed`` (the ``no-legacy-factory``
+#: rule points everyone else at :class:`repro.servers.spec.TestbedSpec`).
+LEGACY_FACTORY_ALLOWED_PATHS: Tuple[str, ...] = (
+    "repro/servers/factory.py",
 )
 
 #: Wall-clock reading calls (dotted names as written at the call site).

@@ -23,6 +23,7 @@ from ..http.messages import HttpResponse, find_body_offset
 from ..iscsi.pdu import DataIn, ScsiCommand
 from ..net.network import Datagram
 from ..nfs.protocol import NfsCall, NfsProc, NfsReply
+from ..rpc.peer import PeerFetchReply
 
 
 class RxAction(enum.Enum):
@@ -60,6 +61,11 @@ class PacketClassifier:
             return RxAction.PASS
         if isinstance(message, NfsCall) and message.proc is NfsProc.WRITE:
             return RxAction.CACHE_NFS_WRITE
+        if isinstance(message, PeerFetchReply) \
+                and message.hit and message.nblocks > 0:
+            # A peer cache hit is a Data-In in disguise: chunk its
+            # payload into the local LBN cache (cooperative caching).
+            return RxAction.CACHE_DATA_IN
         return RxAction.PASS
 
     def classify_tx(self, dgram: Datagram) -> TxDecision:
@@ -77,6 +83,10 @@ class PacketClassifier:
                 and not message.is_metadata:
             return TxDecision(TxAction.REMAP_AND_SUBSTITUTE,
                               message.header_size)
+        if isinstance(message, PeerFetchReply) and message.hit:
+            # Serving a peer probe: swap the keyed placeholders for the
+            # cached buffers, zero-copy out of this node's NCache.
+            return TxDecision(TxAction.SUBSTITUTE, message.header_size)
         return TxDecision(TxAction.PASS)
 
     @staticmethod

@@ -28,7 +28,7 @@ import sys
 from pathlib import Path
 
 from . import (ablations, figure4, figure5, figure6, figure7,
-               policy_ablation, table1, table2)
+               fleet_scaling, policy_ablation, table1, table2)
 from .parallel import n_trace_events, write_merged_chrome, write_merged_jsonl
 
 RUNNERS = {
@@ -44,6 +44,8 @@ RUNNERS = {
          figure6.run_allhit(quick, workers, sink, stats)],
     "figure7": lambda quick, workers, sink, stats:
         [figure7.run(quick, workers, sink, stats)],
+    "fleet_scaling": lambda quick, workers, sink, stats:
+        [fleet_scaling.run(quick, workers, sink, stats)],
     "ablations": ablations.run,
     "policy_ablation": lambda quick, workers, sink, stats:
         [policy_ablation.run(quick, workers, sink, stats)],

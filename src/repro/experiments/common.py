@@ -20,7 +20,7 @@ from ..core.chunk import Chunk
 from ..core.keys import KeyedPayload, LbnKey
 from ..net.buffer import JunkPayload
 from ..servers.config import MB, ServerMode
-from ..servers.factory import build_testbed
+from ..servers.spec import TestbedSpec
 from ..servers.testbed import NfsTestbed, WebTestbed
 
 ALL_MODES = (ServerMode.ORIGINAL, ServerMode.BASELINE, ServerMode.NCACHE)
@@ -52,18 +52,20 @@ def nfs_testbed(mode: ServerMode, n_nics: int = 1, n_daemons: int = 16,
                 flush_interval_s: Optional[float] = 0.25,
                 **config_overrides) -> NfsTestbed:
     """A fully-built NFS testbed for one server mode."""
-    return build_testbed("nfs", mode, flush_interval_s=flush_interval_s,
-                         n_server_nics=n_nics, n_daemons=n_daemons,
-                         **config_overrides)
+    spec = TestbedSpec.nfs(mode, flush_interval_s=flush_interval_s,
+                           n_server_nics=n_nics, n_daemons=n_daemons,
+                           **config_overrides)
+    return spec.build()
 
 
 def web_testbed(mode: ServerMode, n_nics: int = 2,
                 connections_per_client: int = 6,
                 **config_overrides) -> WebTestbed:
     """A fully-built kHTTPd testbed for one server mode."""
-    return build_testbed("web", mode,
-                         connections_per_client=connections_per_client,
-                         n_server_nics=n_nics, **config_overrides)
+    spec = TestbedSpec.web(mode,
+                           connections_per_client=connections_per_client,
+                           n_server_nics=n_nics, **config_overrides)
+    return spec.build()
 
 
 def warm_caches(testbed, ranked_names: Sequence[str]) -> None:

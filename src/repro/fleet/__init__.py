@@ -1,0 +1,23 @@
+"""Fleet-scale NCache: N testbeds behind a consistent-hash router.
+
+The paper's NCache serves one pass-through server; this package scales
+it out.  A :class:`~repro.servers.spec.ClusterSpec` describes the fleet,
+:class:`FleetBuilder` composes it (shared simulator and switch, one
+testbed per node, peer cache wiring), and :class:`Fleet` is the wired
+result the workloads and experiments drive.
+"""
+
+from ..servers.spec import ClusterSpec
+from .builder import Fleet, FleetBuilder, FleetNode
+from .hashring import HashRing
+from .peer import PeerCacheClient, PeerCacheService
+
+__all__ = [
+    "ClusterSpec",
+    "Fleet",
+    "FleetBuilder",
+    "FleetNode",
+    "HashRing",
+    "PeerCacheClient",
+    "PeerCacheService",
+]

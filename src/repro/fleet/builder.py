@@ -1,0 +1,201 @@
+"""Composing a wired fleet from a :class:`~repro.servers.spec.ClusterSpec`.
+
+A fleet is N identically-specified testbeds sharing one simulator and
+one switch, plus the simulated load balancer: consistent-hash routing
+of requests to nodes by the block *group* they touch, and (optionally)
+the cooperative-caching peer wiring from :mod:`repro.fleet.peer`.
+
+A single-node cluster takes a fast path — ``spec.testbed.build()``
+verbatim, own simulator, no prefix, no peer machinery — so its event
+stream is byte-identical to the standalone testbed the spec describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..net.addresses import Endpoint, PEER_PORT
+from ..net.network import Network
+from ..obs.metrics import MetricsRegistry
+from ..servers.spec import ClusterSpec
+from ..servers.testbed import BaseTestbed
+from ..sim.engine import Simulator
+from .hashring import HashRing
+from .peer import PeerCacheClient, PeerCacheService, cooperative_interceptor
+
+
+@dataclass
+class FleetNode:
+    """One server position in the fleet."""
+
+    index: int
+    testbed: BaseTestbed
+    service: Optional[PeerCacheService] = None
+    client: Optional[PeerCacheClient] = None
+
+    @property
+    def name(self) -> str:
+        return f"s{self.index}"
+
+
+class Fleet:
+    """The wired cluster: route requests, measure, aggregate."""
+
+    def __init__(self, spec: ClusterSpec, sim: Simulator, network: Network,
+                 nodes: List[FleetNode], ring: HashRing) -> None:
+        self.spec = spec
+        self.sim = sim
+        self.network = network
+        self.nodes = nodes
+        self.ring = ring
+        #: fleet-level declared metrics (routing counts, imbalance gauge).
+        self.metrics = MetricsRegistry()
+        self._routed = [self.metrics.counter(f"fleet.routed.n{n.index}")
+                        for n in nodes]
+        self._imbalance = self.metrics.gauge("fleet.imbalance")
+        self.block_size = nodes[0].testbed.image.block_size
+
+    # -- assembly ------------------------------------------------------------
+
+    @property
+    def testbeds(self) -> List[BaseTestbed]:
+        return [node.testbed for node in self.nodes]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def create_file(self, name: str, size: int):
+        """Create a file on every node's (identical) image."""
+        inode = None
+        for node in self.nodes:
+            inode = node.testbed.image.create_file(name, size)
+        return inode
+
+    def setup(self) -> None:
+        """Establish every node's sessions (iSCSI login etc.)."""
+        for node in self.nodes:
+            node.testbed.setup()
+
+    # -- load balancing ------------------------------------------------------
+
+    def group_of(self, lbn: int) -> int:
+        return lbn // self.spec.group_blocks
+
+    def owners_of(self, lbn: int) -> List[int]:
+        return self.ring.owners(self.group_of(lbn), self.spec.replication)
+
+    def route_block(self, lbn: int, salt: int = 0) -> int:
+        """Node index serving requests for ``lbn``.
+
+        ``salt`` (e.g. a logical client id) spreads a replicated group's
+        load across its owners deterministically.
+        """
+        owners = self.owners_of(lbn)
+        return owners[salt % len(owners)]
+
+    def route(self, path: str, offset: int = 0, salt: int = 0) -> FleetNode:
+        """The node a request for ``path``/``offset`` is balanced to."""
+        inode = self.nodes[0].testbed.image.lookup(path)
+        lbn = inode.block_lbn(min(offset // self.block_size,
+                                  inode.nblocks - 1))
+        node = self.nodes[self.route_block(lbn, salt)]
+        self._routed[node.index].add()
+        return node
+
+    def peer_endpoints(self, lbn: int, exclude: int) -> List[Endpoint]:
+        """The group's other owners, as peer-service endpoints."""
+        return [Endpoint(f"s{j}.server-0", PEER_PORT)
+                for j in self.owners_of(lbn) if j != exclude]
+
+    # -- measurement protocol ------------------------------------------------
+
+    def reset_measurements(self) -> None:
+        for node in self.nodes:
+            node.testbed.reset_measurements()
+        self.metrics.reset()
+
+    def warmup_then_measure(self, warmup_s: float, measure_s: float) -> None:
+        self.sim.run(until=self.sim.now + warmup_s)
+        self.reset_measurements()
+        self.sim.run(until=self.sim.now + measure_s)
+
+    def backend_reads(self) -> int:
+        """Total iSCSI commands served by the nodes' storage backends.
+
+        ``commands_served`` is a lifetime total — diff two calls around
+        the measurement window.
+        """
+        return sum(node.testbed.target.commands_served
+                   for node in self.nodes)
+
+    def routed_counts(self) -> List[float]:
+        return [c.value for c in self._routed]
+
+    def imbalance(self) -> float:
+        """max/mean of per-node routed requests (1.0 = perfectly even)."""
+        counts = self.routed_counts()
+        mean = sum(counts) / len(counts)
+        value = (max(counts) / mean) if mean else 0.0
+        self._imbalance.set(value)
+        return value
+
+    def counter_sum(self, name: str) -> float:
+        """Sum one server-host counter across the fleet."""
+        return sum(node.testbed.server_host.counters[name].value
+                   for node in self.nodes)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        self.imbalance()
+        return {
+            "n_servers": len(self.nodes),
+            "replication": self.spec.replication,
+            "cooperative": self.spec.cooperative,
+            "sim_time_s": self.sim.now,
+            "fleet": self.metrics.snapshot(),
+            "nodes": {node.name: node.testbed.metrics_snapshot()
+                      for node in self.nodes},
+        }
+
+
+class FleetBuilder:
+    """Builds the testbeds, the ring, and the cooperative wiring."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+
+    def build(self) -> Fleet:
+        spec = self.spec
+        n = spec.n_servers
+        ring = HashRing(range(n), vnodes=spec.vnodes, seed=spec.hash_seed)
+        if n == 1:
+            # Fast path: exactly the standalone testbed, event-for-event.
+            testbed = spec.testbed.build()
+            return Fleet(spec, testbed.sim, testbed.network,
+                         [FleetNode(0, testbed)], ring)
+        sim = Simulator()
+        sim.trace.process_name = (
+            f"Fleet[{n}x{spec.testbed.kind}/{spec.testbed.mode.label}]")
+        network = Network(sim)
+        nodes = [FleetNode(i, spec.testbed.build(
+                     sim=sim, network=network, name_prefix=f"s{i}."))
+                 for i in range(n)]
+        fleet = Fleet(spec, sim, network, nodes, ring)
+        if spec.cooperative:
+            for node in nodes:
+                node.service = PeerCacheService(node.testbed)
+            for node in nodes:
+                node.client = PeerCacheClient(
+                    node.testbed,
+                    peers_for=self._peers_for(fleet, node.index))
+                # Local NCache first, then the group's other owners,
+                # then (back in the initiator) the wire to iSCSI.
+                node.testbed.initiator.read_interceptor = \
+                    cooperative_interceptor(node.testbed.ncache, node.client)
+        return fleet
+
+    @staticmethod
+    def _peers_for(fleet: Fleet, index: int):
+        def peers(lbn: int) -> List[Endpoint]:
+            return fleet.peer_endpoints(lbn, exclude=index)
+        return peers

@@ -1,0 +1,61 @@
+"""Consistent-hash ring for request routing and block-group placement.
+
+Standard construction: every node contributes ``vnodes`` points on a
+2^64 ring (SHA-256 of a salted label — deterministic across processes,
+unlike Python's randomized ``hash``); a key routes to the first point
+clockwise from its own hash.  ``owners(key, n)`` keeps walking to the
+next *distinct* nodes, which is how a replicated block group names its
+``n`` owner servers.  Adding or removing one node moves only ~1/N of
+the keyspace, the property the fleet's cache placement relies on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Sequence, Tuple
+
+
+def _hash64(label: str) -> int:
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Maps hashable keys to one or more of a fixed set of nodes."""
+
+    def __init__(self, nodes: Sequence[int], vnodes: int = 64,
+                 seed: int = 0) -> None:
+        if not nodes:
+            raise ValueError("ring needs at least one node")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.nodes = list(nodes)
+        self.vnodes = vnodes
+        self.seed = seed
+        points: List[Tuple[int, int]] = []
+        for node in self.nodes:
+            for v in range(vnodes):
+                points.append((_hash64(f"{seed}/n{node}/v{v}"), node))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [n for _, n in points]
+
+    def owners(self, key: object, count: int = 1) -> List[int]:
+        """The first ``count`` distinct nodes clockwise from ``key``."""
+        if not 1 <= count <= len(self.nodes):
+            raise ValueError(
+                f"count must be in [1, {len(self.nodes)}], got {count}")
+        start = bisect.bisect_right(self._hashes,
+                                    _hash64(f"{self.seed}/k{key}"))
+        found: List[int] = []
+        for i in range(len(self._owners)):
+            node = self._owners[(start + i) % len(self._owners)]
+            if node not in found:
+                found.append(node)
+                if len(found) == count:
+                    break
+        return found
+
+    def owner(self, key: object) -> int:
+        return self.owners(key, 1)[0]

@@ -19,3 +19,6 @@ class Endpoint(NamedTuple):
 NFS_PORT = 2049
 ISCSI_PORT = 3260
 HTTP_PORT = 80
+# Fleet peer cache-fetch service and its client side (repro.fleet).
+PEER_PORT = 2149
+PEER_CLIENT_PORT = 2150

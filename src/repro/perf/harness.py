@@ -33,7 +33,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments import (ablations, figure4, figure5, figure6, figure7,
-                           policy_ablation, table1, table2)
+                           fleet_scaling, policy_ablation, table1, table2)
 from ..sim import engine as _engine
 
 #: Bump when entry fields change incompatibly; the comparator refuses to
@@ -67,6 +67,8 @@ GRID: Dict[str, _Runner] = {
         figure6.run_allhit(quick, workers, stats=stats),
     "figure7": lambda quick, workers, stats:
         figure7.run(quick, workers, stats=stats),
+    "fleet_scaling": lambda quick, workers, stats:
+        fleet_scaling.run(quick, workers, stats=stats),
     "ablations": lambda quick, workers, stats:
         ablations.run(quick, workers, stats=stats),
     "policy_ablation": lambda quick, workers, stats:
@@ -80,13 +82,14 @@ def workload_seeds() -> Dict[str, int]:
     Stamped into each record so a baseline is only trusted when the
     stochastic inputs that produced it are unchanged.
     """
+    from ..workloads.fleetzipf import FleetZipfWorkload
     from ..workloads.microbench import AllHitReadWorkload, \
         SequentialReadWorkload
     from ..workloads.specsfs import SpecSfsWorkload
     from ..workloads.specweb import AllHitWebWorkload, SpecWebWorkload
     out: Dict[str, int] = {}
     for cls in (SequentialReadWorkload, AllHitReadWorkload, SpecSfsWorkload,
-                SpecWebWorkload, AllHitWebWorkload):
+                SpecWebWorkload, AllHitWebWorkload, FleetZipfWorkload):
         param = inspect.signature(cls.__init__).parameters.get("seed")
         if param is not None:  # fully deterministic workloads have no seed
             out[cls.__name__] = int(param.default)

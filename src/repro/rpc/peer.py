@@ -1,0 +1,56 @@
+"""Peer cache-fetch protocol (cooperative caching between fleet nodes).
+
+On a local NCache miss a fleet node probes the block group's other
+owners before falling back to iSCSI.  The exchange is a tiny RPC over
+UDP, deliberately shaped like the iSCSI read path so the *existing*
+NCache machinery handles both ends with no new data-plane code:
+
+* a hit :class:`PeerFetchReply` exposes ``lba``/``nblocks``/
+  ``header_size`` exactly like a Data-In PDU, so the requester's RX hook
+  chunks the payload straight into its own LBN cache;
+* on the serving peer the reply's data part is keyed placeholders, so
+  the peer's TX hook substitutes the cached network buffers on the way
+  out — the probe is answered zero-copy from the network-centric cache.
+
+Generation stamps ride with the LBN keys, so the requester inherits the
+same invalidation story as locally-cached data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Peer fetch call header bytes (xid + lun + lbn + count).
+PEER_CALL_HEADER = 28
+#: Peer fetch reply header bytes (xid + status + extent).
+PEER_REPLY_HEADER = 24
+
+
+@dataclass
+class PeerFetchCall:
+    """Ask a peer for ``nblocks`` starting at ``lbn`` from its LBN cache."""
+
+    xid: int
+    lun: int
+    lbn: int
+    nblocks: int
+
+    header_size: int = PEER_CALL_HEADER
+    is_metadata: bool = True
+
+    def __post_init__(self) -> None:
+        if self.nblocks <= 0:
+            raise ValueError("nblocks must be positive")
+
+
+@dataclass
+class PeerFetchReply:
+    """The peer's answer; a hit carries the blocks like a Data-In PDU."""
+
+    xid: int
+    hit: bool
+    lun: int
+    lba: int
+    nblocks: int
+
+    header_size: int = PEER_REPLY_HEADER

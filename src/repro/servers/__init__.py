@@ -2,15 +2,18 @@
 
 from .config import GB, MB, ServerMode, TestbedConfig
 from .factory import build_testbed
+from .spec import ClusterSpec, TestbedSpec
 from .testbed import BaseTestbed, NfsTestbed, WebTestbed, run_until_complete
 
 __all__ = [
     "BaseTestbed",
+    "ClusterSpec",
     "GB",
     "MB",
     "NfsTestbed",
     "ServerMode",
     "TestbedConfig",
+    "TestbedSpec",
     "WebTestbed",
     "build_testbed",
     "run_until_complete",

@@ -1,24 +1,22 @@
-"""One-call testbed construction: the public facade over testbed wiring.
+"""Deprecated one-call testbed construction.
 
-Experiments, notebooks and tests all want the same thing — "give me a
-fully-built NFS (or web) testbed in mode X" — without re-deriving the
-per-kind defaults (NIC counts, daemon counts, flush intervals,
-connections per client).  :func:`build_testbed` centralises those
-defaults; anything it does not recognise as a builder knob is forwarded
-to :class:`~repro.servers.config.TestbedConfig`, so every paper knob
-stays reachable from the one entry point.
+:func:`build_testbed` predates the declarative spec API and survives
+only as a compatibility shim: it packs its arguments into a
+:class:`~repro.servers.spec.TestbedSpec` and builds that.  New code
+should construct a :class:`TestbedSpec` (or :class:`ClusterSpec`)
+directly — the spec is typed, validated, hashable and picklable, which
+the kwarg soup here never was.  The lint rule ``no-legacy-factory``
+flags new in-repo callers.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Union
 
-from .config import ServerMode, TestbedConfig
-from .testbed import BaseTestbed, NfsTestbed, WebTestbed
-
-#: per-kind defaults applied when the caller does not override them.
-_NFS_DEFAULTS = dict(n_server_nics=1, n_daemons=16)
-_WEB_DEFAULTS = dict(n_server_nics=2)
+from .config import ServerMode
+from .spec import TestbedSpec
+from .testbed import BaseTestbed
 
 
 def build_testbed(kind: str = "nfs",
@@ -29,32 +27,21 @@ def build_testbed(kind: str = "nfs",
                   flush_interval_s: Optional[float] = 0.25,
                   connections_per_client: int = 6,
                   **config_overrides) -> BaseTestbed:
-    """Build a fully-wired testbed of the given kind and server mode.
+    """Deprecated: use :meth:`TestbedSpec.build` instead.
 
-    ``kind`` is ``"nfs"`` (NFS-over-iSCSI server, §5.4) or ``"web"``
-    (kHTTPd, §5.5).  ``mode`` accepts a :class:`ServerMode` or its string
-    value (``"original"``/``"baseline"``/``"ncache"``).  Remaining keyword
-    arguments override :class:`TestbedConfig` fields; kind-specific
-    defaults (1 NIC + 16 daemons for NFS, 2 NICs for web) apply only when
-    the caller does not supply those fields.
+    Equivalent to::
 
-    ``flush_interval_s`` is the NFS flush-daemon period (``None`` disables
-    it); ``connections_per_client`` sizes the web client pool.  Both are
-    ignored by the other kind.
+        TestbedSpec(kind=kind, mode=mode, ...,
+                    config=config_overrides).build()
     """
-    if isinstance(mode, str):
-        mode = ServerMode(mode)
-    if kind == "nfs":
-        defaults = dict(_NFS_DEFAULTS)
-        defaults.update(config_overrides)
-        cfg = TestbedConfig(mode=mode, **defaults)
-        return NfsTestbed(cfg, image_capacity_blocks=image_capacity_blocks,
-                          seed=seed, flush_interval_s=flush_interval_s)
-    if kind == "web":
-        defaults = dict(_WEB_DEFAULTS)
-        defaults.update(config_overrides)
-        cfg = TestbedConfig(mode=mode, **defaults)
-        return WebTestbed(cfg, image_capacity_blocks=image_capacity_blocks,
-                          seed=seed,
-                          connections_per_client=connections_per_client)
-    raise ValueError(f"unknown testbed kind {kind!r} (want 'nfs' or 'web')")
+    warnings.warn(
+        "build_testbed() is deprecated; construct a "
+        "repro.servers.TestbedSpec and call .build()",
+        DeprecationWarning, stacklevel=2)
+    spec = TestbedSpec(kind=kind, mode=mode,
+                       image_capacity_blocks=image_capacity_blocks,
+                       seed=seed,
+                       flush_interval_s=flush_interval_s,
+                       connections_per_client=connections_per_client,
+                       config=tuple(config_overrides.items()))
+    return spec.build()

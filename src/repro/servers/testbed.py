@@ -46,29 +46,42 @@ def run_until_complete(sim: Simulator, process: Process) -> None:
 
 
 class BaseTestbed:
-    """Storage server + application server + clients + switch."""
+    """Storage server + application server + clients + switch.
+
+    A standalone testbed owns its :class:`Simulator` and switch.  A fleet
+    (:mod:`repro.fleet`) instead passes a shared ``sim``/``network`` plus
+    a ``name_prefix`` that keeps host names and NIC IPs globally unique
+    on the shared switch; with the defaults the construction is
+    event-for-event identical to the standalone path.
+    """
 
     def __init__(self, config: TestbedConfig,
                  image_capacity_blocks: int = 4 << 20,
-                 seed: int = 1) -> None:
+                 seed: int = 1, *,
+                 sim: Optional[Simulator] = None,
+                 network: Optional[Network] = None,
+                 name_prefix: str = "") -> None:
         self.config = config
         self.seed = seed
-        self.sim = Simulator()
-        self.sim.trace.process_name = (
-            f"{type(self).__name__}[{config.mode.label}]")
-        self.network = Network(self.sim)
+        self.name_prefix = name_prefix
+        owns_sim = sim is None
+        self.sim = Simulator() if sim is None else sim
+        if owns_sim:
+            self.sim.trace.process_name = (
+                f"{type(self).__name__}[{config.mode.label}]")
+        self.network = Network(self.sim) if network is None else network
         #: testbed-wide declared metrics (request latency/bytes live here).
         self.metrics = MetricsRegistry()
         costs = config.costs
 
         # Storage server.
-        self.storage_host = Host(self.sim, "storage", costs,
+        self.storage_host = Host(self.sim, f"{name_prefix}storage", costs,
                                  checksum_offload=config.checksum_offload)
-        self.storage_host.add_nic(self.network, "storage-0")
+        self.storage_host.add_nic(self.network, f"{name_prefix}storage-0")
         self.image = FsImage(capacity_blocks=image_capacity_blocks,
                              seed=seed)
         self.disk_store = DiskStore(self.image)
-        disks = [DiskModel(self.sim, name=f"ide{i}",
+        disks = [DiskModel(self.sim, name=f"{name_prefix}ide{i}",
                            seek_ms=config.disk_seek_ms,
                            rotation_ms=config.disk_rotation_ms,
                            transfer_mbps=config.disk_transfer_mbps)
@@ -80,18 +93,19 @@ class BaseTestbed:
             network_ready_disk=config.storage_network_ready_disk)
 
         # Application server.
-        self.server_host = Host(self.sim, "server", costs,
+        self.server_host = Host(self.sim, f"{name_prefix}server", costs,
                                 checksum_offload=config.checksum_offload)
         self.server_ips: List[str] = []
         for i in range(config.n_server_nics):
-            ip = f"server-{i}"
+            ip = f"{name_prefix}server-{i}"
             self.server_host.add_nic(self.network, ip)
             self.server_ips.append(ip)
 
         discipline = config.mode.discipline
         self.initiator = IscsiInitiator(
             self.server_host, self.server_ips[0],
-            Endpoint("storage-0", ISCSI_PORT), discipline=discipline)
+            Endpoint(f"{name_prefix}storage-0", ISCSI_PORT),
+            discipline=discipline)
         self.cache = BufferCache(config.fs_cache_bytes,
                                  counters=self.server_host.counters,
                                  trace=self.sim.trace,
@@ -115,9 +129,9 @@ class BaseTestbed:
         # Clients.
         self.client_hosts: List[Host] = []
         for i in range(config.n_client_hosts):
-            host = Host(self.sim, f"client{i}", costs,
+            host = Host(self.sim, f"{name_prefix}client{i}", costs,
                         checksum_offload=config.checksum_offload)
-            host.add_nic(self.network, f"client-{i}")
+            host.add_nic(self.network, f"{name_prefix}client-{i}")
             self.client_hosts.append(host)
 
         # Meters.
@@ -191,8 +205,12 @@ class NfsTestbed(BaseTestbed):
     def __init__(self, config: TestbedConfig,
                  image_capacity_blocks: int = 4 << 20,
                  seed: int = 1,
-                 flush_interval_s: Optional[float] = 0.5) -> None:
-        super().__init__(config, image_capacity_blocks, seed)
+                 flush_interval_s: Optional[float] = 0.5, *,
+                 sim: Optional[Simulator] = None,
+                 network: Optional[Network] = None,
+                 name_prefix: str = "") -> None:
+        super().__init__(config, image_capacity_blocks, seed,
+                         sim=sim, network=network, name_prefix=name_prefix)
         self.nfs_server = NfsServer(self.server_host, self.vfs,
                                     n_daemons=config.n_daemons,
                                     discipline=config.mode.discipline)
@@ -218,8 +236,12 @@ class WebTestbed(BaseTestbed):
     def __init__(self, config: TestbedConfig,
                  image_capacity_blocks: int = 4 << 20,
                  seed: int = 1,
-                 connections_per_client: int = 4) -> None:
-        super().__init__(config, image_capacity_blocks, seed)
+                 connections_per_client: int = 4, *,
+                 sim: Optional[Simulator] = None,
+                 network: Optional[Network] = None,
+                 name_prefix: str = "") -> None:
+        super().__init__(config, image_capacity_blocks, seed,
+                         sim=sim, network=network, name_prefix=name_prefix)
         self.khttpd = KHttpd(self.server_host, self.vfs,
                              discipline=config.mode.discipline)
         self.http_clients: List[HttpClient] = []

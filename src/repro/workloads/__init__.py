@@ -1,5 +1,11 @@
-"""Workload generators: micro-benchmarks, SPECsfs/SPECweb analogs, traces."""
+"""Workload generators: micro-benchmarks, SPECsfs/SPECweb analogs, traces.
 
+Every generator implements the :class:`~repro.workloads.base.Workload`
+protocol (``bind``/``run``/``describe``); see :mod:`repro.workloads.base`.
+"""
+
+from .base import Workload, WorkloadBase, resolve_testbed
+from .fleetzipf import FlashCrowd, FleetZipfWorkload, HotKeyStorm
 from .microbench import AllHitReadWorkload, SequentialReadWorkload
 from .specsfs import DEFAULT_SIZE_DIST, METADATA_MIX, SpecSfsWorkload
 from .specweb import (
@@ -20,6 +26,9 @@ __all__ = [
     "AllHitReadWorkload",
     "AllHitWebWorkload",
     "DEFAULT_SIZE_DIST",
+    "FlashCrowd",
+    "FleetZipfWorkload",
+    "HotKeyStorm",
     "METADATA_MIX",
     "SIZE_CLASSES",
     "SequentialReadWorkload",
@@ -27,6 +36,8 @@ __all__ = [
     "SpecWebWorkload",
     "TracePlayer",
     "TraceRecord",
+    "Workload",
+    "WorkloadBase",
     "build_file_set",
     "hot_cold_trace",
     "mixed_trace",

@@ -1,0 +1,184 @@
+"""Fleet-scale Zipf workload: millions of logical clients, few processes.
+
+Drives a :class:`~repro.fleet.Fleet` the way a production front end
+would: every request belongs to one of ``n_logical_clients`` logical
+clients (sampled per request — the clients are a *population*, not
+simulated processes), file popularity is Zipf-skewed, and three
+time-varying phenomena can be layered on top:
+
+* **hot-key storm** — for a window, a fraction of all requests collapses
+  onto one key (:class:`HotKeyStorm`);
+* **flash crowd** — for a window, think times shrink fleet-wide, raising
+  offered load (:class:`FlashCrowd`);
+* **diurnal shift** — the popularity ranking rotates through the file
+  set over ``diurnal_period_s``, so "tonight's hot set" differs from
+  this morning's.
+
+The load balancer (``fleet.route``) picks the serving node per request
+by consistent hash of the touched block group, salted with the logical
+client id so replicated groups spread across their owners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..nfs.client import NfsClient
+from ..sim.engine import Event
+from ..sim.process import Process, start
+from ..sim.rng import ZipfSampler, substream
+from .base import WorkloadBase
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class HotKeyStorm:
+    """For ``[start_s, end_s)``, ``fraction`` of requests hit ``rank``."""
+
+    start_s: float
+    end_s: float
+    fraction: float = 0.5
+    rank: int = 0
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """For ``[start_s, end_s)``, think times scale by ``think_scale``."""
+
+    start_s: float
+    end_s: float
+    think_scale: float = 0.25
+
+
+class FleetZipfWorkload(WorkloadBase):
+    """Zipf-skewed reads over a fleet, routed by the load balancer."""
+
+    fleet_aware = True
+
+    def __init__(self, fleet: Any = None,
+                 n_files: int = 192,
+                 file_size: int = 256 * KB,
+                 request_size: int = 32 * KB,
+                 zipf_alpha: float = 0.9,
+                 n_logical_clients: int = 1_000_000,
+                 n_streams: int = 24,
+                 think_time_s: float = 0.001,
+                 storm: Optional[HotKeyStorm] = None,
+                 crowd: Optional[FlashCrowd] = None,
+                 diurnal_period_s: float = 0.0,
+                 diurnal_drift: float = 0.5,
+                 seed: int = 42,
+                 prefix: str = "zipf") -> None:
+        if file_size % request_size:
+            raise ValueError("file_size must be a request_size multiple")
+        self.n_files = n_files
+        self.file_size = file_size
+        self.request_size = request_size
+        self.zipf_alpha = zipf_alpha
+        self.n_logical_clients = n_logical_clients
+        self.n_streams = n_streams
+        self.think_time_s = think_time_s
+        self.storm = storm
+        self.crowd = crowd
+        self.diurnal_period_s = diurnal_period_s
+        self.diurnal_drift = diurnal_drift
+        self.seed = seed
+        self.prefix = prefix
+        self.paths: List[str] = []
+        self._handles: Dict[tuple, Any] = {}
+        self._processes: List[Process] = []
+        super().__init__(fleet)
+
+    # -- binding -------------------------------------------------------------
+
+    def _bind(self, fleet: Any) -> None:
+        self.fleet = fleet
+        for i in range(self.n_files):
+            path = f"{self.prefix}/{i:06d}"
+            fleet.create_file(path, self.file_size)
+            self.paths.append(path)
+
+    def _params(self) -> Dict[str, Any]:
+        return {"n_files": self.n_files, "file_size": self.file_size,
+                "request_size": self.request_size,
+                "zipf_alpha": self.zipf_alpha,
+                "n_logical_clients": self.n_logical_clients,
+                "n_streams": self.n_streams,
+                "think_time_s": self.think_time_s,
+                "storm": self.storm is not None,
+                "crowd": self.crowd is not None,
+                "diurnal_period_s": self.diurnal_period_s,
+                "seed": self.seed}
+
+    # -- request shaping -----------------------------------------------------
+
+    def _file_index(self, rank: int, now: float, rng: Any) -> int:
+        if self.storm is not None \
+                and self.storm.start_s <= now < self.storm.end_s \
+                and rng.random() < self.storm.fraction:
+            return self.storm.rank % self.n_files
+        shift = 0
+        if self.diurnal_period_s > 0:
+            phase = (now % self.diurnal_period_s) / self.diurnal_period_s
+            shift = int(self.n_files * self.diurnal_drift * phase)
+        return (rank + shift) % self.n_files
+
+    def _think_time(self, now: float) -> float:
+        think = self.think_time_s
+        if self.crowd is not None \
+                and self.crowd.start_s <= now < self.crowd.end_s:
+            think *= self.crowd.think_scale
+        return think
+
+    # -- load generation -----------------------------------------------------
+
+    def start(self) -> None:
+        fleet = self._require_bound()
+        for s in range(self.n_streams):
+            rng = substream(self.seed, "fleetzipf", s)
+            sampler = ZipfSampler(self.n_files, self.zipf_alpha,
+                                  substream(self.seed, "fleetzipf-rank", s))
+            self._processes.append(
+                start(fleet.sim, self._stream(rng, sampler),
+                      name=f"fleetzipf-{s}"))
+
+    def _stream(self, rng: Any, sampler: ZipfSampler
+                ) -> Any:
+        fleet = self.fleet
+        slots = self.file_size // self.request_size
+        while True:
+            now = fleet.sim.now
+            logical = rng.randrange(self.n_logical_clients)
+            index = self._file_index(sampler.sample(), now, rng)
+            path = self.paths[index]
+            offset = rng.randrange(slots) * self.request_size
+            node = fleet.route(path, offset, salt=logical)
+            issued_at = fleet.sim.now
+            nbytes = yield from self._issue(node, path, offset, logical)
+            testbed = node.testbed
+            testbed.meters.record_request(fleet.sim.now - issued_at, nbytes)
+            testbed.server_host.counters.add("fleet.served")
+            think = self._think_time(now)
+            if think > 0:
+                yield fleet.sim.timeout(think)
+
+    def _issue(self, node: Any, path: str, offset: int, logical: int
+               ) -> Any:
+        """One request against ``node``; NFS if it has NFS clients,
+        kHTTPd otherwise.  Returns the bytes served."""
+        testbed = node.testbed
+        clients = getattr(testbed, "clients", None)
+        if clients:
+            client: NfsClient = clients[logical % len(clients)]
+            fh = self._handles.get((node.index, path))
+            if fh is None:
+                fh = testbed.file_handle(path)
+                self._handles[(node.index, path)] = fh
+            dgram = yield from client.read(fh, offset, self.request_size)
+            return dgram.message.count
+        http_clients = testbed.http_clients
+        http = http_clients[logical % len(http_clients)]
+        response, _dgram = yield from http.get(path)
+        return response.content_length

@@ -13,7 +13,7 @@ processes the same way).
 
 from __future__ import annotations
 
-from typing import Any, Generator, List
+from typing import Any, Dict, Generator, List, Optional
 
 from ..nfs.client import NfsClient
 from ..nfs.protocol import FileHandle
@@ -21,32 +21,42 @@ from ..servers.testbed import NfsTestbed
 from ..sim.engine import Event
 from ..sim.process import Process, start
 from ..sim.rng import substream
+from .base import WorkloadBase
 
 GB = 1 << 30
 MB = 1 << 20
 
 
-class SequentialReadWorkload:
+class SequentialReadWorkload(WorkloadBase):
     """All-miss workload: sequential streams over per-stream large files."""
 
-    def __init__(self, testbed: NfsTestbed, request_size: int,
+    def __init__(self, testbed: Optional[NfsTestbed] = None,
+                 request_size: int = 32768,
                  file_size: int = 2 * GB,
                  streams_per_client: int = 4) -> None:
-        if request_size % testbed.image.block_size:
-            raise ValueError("request size must be block-aligned")
         if file_size % request_size:
             file_size -= file_size % request_size
-        self.testbed = testbed
         self.request_size = request_size
         self.file_size = file_size
         self.streams_per_client = streams_per_client
         self._processes: List[Process] = []
         self._handles: List[FileHandle] = []
+        super().__init__(testbed)
+
+    def _bind(self, testbed: NfsTestbed) -> None:
+        if self.request_size % testbed.image.block_size:
+            raise ValueError("request size must be block-aligned")
+        self.testbed = testbed
         for c in range(len(testbed.clients)):
-            for s in range(streams_per_client):
+            for s in range(self.streams_per_client):
                 name = f"seqread-{c}-{s}"
-                testbed.image.create_file(name, file_size)
+                testbed.image.create_file(name, self.file_size)
                 self._handles.append(testbed.file_handle(name))
+
+    def _params(self) -> Dict[str, Any]:
+        return {"request_size": self.request_size,
+                "file_size": self.file_size,
+                "streams_per_client": self.streams_per_client}
 
     def start(self) -> None:
         total = len(self._handles)
@@ -81,25 +91,35 @@ class SequentialReadWorkload:
                 offset = 0
 
 
-class AllHitReadWorkload:
+class AllHitReadWorkload(WorkloadBase):
     """All-hit workload: repeated reads over one small shared file."""
 
-    def __init__(self, testbed: NfsTestbed, request_size: int,
+    def __init__(self, testbed: Optional[NfsTestbed] = None,
+                 request_size: int = 32768,
                  file_size: int = 5 * MB,
                  streams_per_client: int = 4,
                  seed: int = 7) -> None:
-        if request_size % testbed.image.block_size:
-            raise ValueError("request size must be block-aligned")
-        self.testbed = testbed
         self.request_size = request_size
         # Round the file down to a whole number of requests.
         self.n_slots = max(1, file_size // request_size)
         self.file_size = self.n_slots * request_size
         self.streams_per_client = streams_per_client
         self.seed = seed
+        self._processes: List[Process] = []
+        super().__init__(testbed)
+
+    def _bind(self, testbed: NfsTestbed) -> None:
+        if self.request_size % testbed.image.block_size:
+            raise ValueError("request size must be block-aligned")
+        self.testbed = testbed
         testbed.image.create_file("hotfile", self.file_size)
         self.fh = testbed.file_handle("hotfile")
-        self._processes: List[Process] = []
+
+    def _params(self) -> Dict[str, Any]:
+        return {"request_size": self.request_size,
+                "file_size": self.file_size,
+                "streams_per_client": self.streams_per_client,
+                "seed": self.seed}
 
     def prewarm(self) -> Process:
         """One sequential pass to populate the caches (run before

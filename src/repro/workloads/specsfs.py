@@ -15,7 +15,16 @@ Throughput is reported in operations/second over all ops, as SPECsfs does.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator, List, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 if TYPE_CHECKING:
     # Type-only: every worker takes an injected stream derived via
@@ -29,6 +38,7 @@ from ..servers.testbed import NfsTestbed
 from ..sim.engine import Event
 from ..sim.process import Process, start
 from ..sim.rng import substream
+from .base import WorkloadBase
 
 GB = 1 << 30
 
@@ -53,10 +63,10 @@ def _weighted_choice(rng: random.Random,
     return items[-1][0]
 
 
-class SpecSfsWorkload:
+class SpecSfsWorkload(WorkloadBase):
     """Closed-loop op-mix generator over a pre-created file set."""
 
-    def __init__(self, testbed: NfsTestbed,
+    def __init__(self, testbed: Optional[NfsTestbed] = None,
                  pct_regular: float = 0.75,
                  read_write_ratio: float = 5.0,
                  fs_size_bytes: int = 2 * GB,
@@ -67,7 +77,6 @@ class SpecSfsWorkload:
                  seed: int = 11) -> None:
         if not 0.0 <= pct_regular <= 1.0:
             raise ValueError("pct_regular must be in [0, 1]")
-        self.testbed = testbed
         self.pct_regular = pct_regular
         self.read_write_ratio = read_write_ratio
         self.size_dist = tuple(size_dist)
@@ -78,13 +87,24 @@ class SpecSfsWorkload:
         self.file_size = file_size
         self.handles: List[FileHandle] = []
         self.names: List[str] = []
-        for i in range(self.n_files):
-            name = f"sfs/{i:06d}"
-            testbed.image.create_file(name, file_size)
-            self.handles.append(testbed.file_handle(name))
-            self.names.append(name)
         self._write_tag = 0x5F5 << 32
         self._processes: List[Process] = []
+        super().__init__(testbed)
+
+    def _bind(self, testbed: NfsTestbed) -> None:
+        self.testbed = testbed
+        for i in range(self.n_files):
+            name = f"sfs/{i:06d}"
+            testbed.image.create_file(name, self.file_size)
+            self.handles.append(testbed.file_handle(name))
+            self.names.append(name)
+
+    def _params(self) -> Dict[str, Any]:
+        return {"pct_regular": self.pct_regular,
+                "read_write_ratio": self.read_write_ratio,
+                "n_files": self.n_files, "file_size": self.file_size,
+                "outstanding_per_client": self.outstanding_per_client,
+                "seed": self.seed}
 
     def start(self) -> None:
         for c, client in enumerate(self.testbed.clients):

@@ -8,13 +8,14 @@ fixed request size drives Figure 6b.
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Sequence, Tuple
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..http.client import HttpClient
 from ..servers.testbed import WebTestbed
 from ..sim.engine import Event
 from ..sim.process import Process, start
 from ..sim.rng import ZipfSampler, substream
+from .base import WorkloadBase
 
 KB = 1024
 MB = 1 << 20
@@ -49,27 +50,38 @@ def build_file_set(working_set_bytes: int,
     return sizes
 
 
-class SpecWebWorkload:
+class SpecWebWorkload(WorkloadBase):
     """Zipf-popularity GETs over a working set of static pages."""
 
-    def __init__(self, testbed: WebTestbed, working_set_bytes: int,
+    def __init__(self, testbed: Optional[WebTestbed] = None,
+                 working_set_bytes: int = 64 * MB,
                  zipf_alpha: float = 0.75, seed: int = 23,
                  prefix: str = "web") -> None:
-        self.testbed = testbed
+        self.working_set_bytes = working_set_bytes
+        self.zipf_alpha = zipf_alpha
         self.seed = seed
+        self.prefix = prefix
         sizes = build_file_set(working_set_bytes)
         rng = substream(seed, "webset")
         # Popularity rank is independent of size: shuffle the assignment.
         rng.shuffle(sizes)
         self.paths: List[str] = []
         self.sizes = sizes
-        for i, size in enumerate(sizes):
-            path = f"{prefix}/{i:06d}.html"
-            testbed.image.create_file(path, size)
-            self.paths.append(path)
-        self.sampler = ZipfSampler(len(self.paths), zipf_alpha,
+        self.sampler = ZipfSampler(len(sizes), zipf_alpha,
                                    substream(seed, "zipf"))
         self._processes: List[Process] = []
+        super().__init__(testbed)
+
+    def _bind(self, testbed: WebTestbed) -> None:
+        self.testbed = testbed
+        for i, size in enumerate(self.sizes):
+            path = f"{self.prefix}/{i:06d}.html"
+            testbed.image.create_file(path, size)
+            self.paths.append(path)
+
+    def _params(self) -> Dict[str, Any]:
+        return {"working_set_bytes": self.working_set_bytes,
+                "zipf_alpha": self.zipf_alpha, "seed": self.seed}
 
     @property
     def mean_page_size(self) -> float:
@@ -91,21 +103,33 @@ class SpecWebWorkload:
                                   response.content_length)
 
 
-class AllHitWebWorkload:
+class AllHitWebWorkload(WorkloadBase):
     """Fixed-size pages served entirely from cache (Figure 6b)."""
 
-    def __init__(self, testbed: WebTestbed, request_size: int,
+    def __init__(self, testbed: Optional[WebTestbed] = None,
+                 request_size: int = 32 * KB,
                  working_set_bytes: int = 5 * MB, seed: int = 29,
                  prefix: str = "hot") -> None:
-        self.testbed = testbed
+        self.request_size = request_size
+        self.working_set_bytes = working_set_bytes
         self.seed = seed
-        n_files = max(1, working_set_bytes // request_size)
-        self.paths = []
-        for i in range(n_files):
-            path = f"{prefix}/{i:04d}.html"
-            testbed.image.create_file(path, request_size)
-            self.paths.append(path)
+        self.prefix = prefix
+        self.n_files = max(1, working_set_bytes // request_size)
+        self.paths: List[str] = []
         self._processes: List[Process] = []
+        super().__init__(testbed)
+
+    def _bind(self, testbed: WebTestbed) -> None:
+        self.testbed = testbed
+        for i in range(self.n_files):
+            path = f"{self.prefix}/{i:04d}.html"
+            testbed.image.create_file(path, self.request_size)
+            self.paths.append(path)
+
+    def _params(self) -> Dict[str, Any]:
+        return {"request_size": self.request_size,
+                "working_set_bytes": self.working_set_bytes,
+                "seed": self.seed}
 
     def prewarm(self) -> Process:
         return start(self.testbed.sim, self._prewarm(), name="web-prewarm")

@@ -10,7 +10,7 @@ record timestamps), and (c) synthetic trace generators.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 from ..net.buffer import VirtualPayload
 from ..nfs.client import NfsClient
@@ -20,6 +20,7 @@ from ..sim.engine import Event
 from ..sim.process import Process, start
 from ..sim.resources import Store
 from ..sim.rng import substream
+from .base import WorkloadBase
 
 
 @dataclass
@@ -37,22 +38,30 @@ class TraceRecord:
             raise ValueError(f"unknown trace op {self.op!r}")
 
 
-class TracePlayer:
+class TracePlayer(WorkloadBase):
     """Replays a trace against an NFS testbed."""
 
-    def __init__(self, testbed: NfsTestbed, trace: List[TraceRecord],
+    def __init__(self, testbed: Optional[NfsTestbed] = None,
+                 trace: Optional[List[TraceRecord]] = None,
                  concurrency: int = 8, timed: bool = False) -> None:
-        self.testbed = testbed
-        self.trace = trace
+        self.trace = list(trace) if trace is not None else []
         self.concurrency = concurrency
         self.timed = timed
         self.completed = 0
+        self._remaining = len(self.trace)
+        self._handles: Dict[str, FileHandle] = {}
+        self._write_tag = 0x7AC3 << 32
+        super().__init__(testbed)
+
+    def _bind(self, testbed: NfsTestbed) -> None:
+        self.testbed = testbed
         self.done = testbed.sim.event()
-        self._remaining = len(trace)
-        self._handles = {}
         self._ensure_files()
         self._queue: Store = Store(testbed.sim, name="trace-queue")
-        self._write_tag = 0x7AC3 << 32
+
+    def _params(self) -> Dict[str, Any]:
+        return {"n_ops": len(self.trace), "concurrency": self.concurrency,
+                "timed": self.timed}
 
     def _ensure_files(self) -> None:
         """Create every file the trace touches, sized to its max extent."""

@@ -310,7 +310,8 @@ class TestDriver:
     def test_rule_registry_complete(self):
         assert set(RULES) == {"no-wallclock", "no-global-random",
                               "copy-discipline", "trace-naming",
-                              "engine-discipline", "cache-discipline"}
+                              "engine-discipline", "cache-discipline",
+                              "no-legacy-factory"}
         for rule in all_rules():
             assert rule.summary and rule.invariant
 

@@ -1,0 +1,160 @@
+"""Fleet layer: hash ring, single-node identity, cooperative caching."""
+
+import pytest
+
+from repro.experiments.common import scaled_memory_config
+from repro.experiments.parallel import RunSpec, run_specs
+from repro.fleet import HashRing
+from repro.fs import BLOCK_SIZE
+from repro.servers import ClusterSpec, ServerMode, TestbedSpec
+from repro.servers.testbed import run_until_complete
+from repro.sim.process import start
+from repro.workloads import SequentialReadWorkload, SpecWebWorkload
+
+MB = 1 << 20
+
+
+class TestHashRing:
+    def test_deterministic(self):
+        a = HashRing(range(8), vnodes=32, seed=5)
+        b = HashRing(range(8), vnodes=32, seed=5)
+        assert all(a.owners(k, 3) == b.owners(k, 3) for k in range(200))
+
+    def test_seed_changes_layout(self):
+        a = HashRing(range(8), vnodes=32, seed=0)
+        b = HashRing(range(8), vnodes=32, seed=1)
+        assert any(a.owner(k) != b.owner(k) for k in range(200))
+
+    def test_owners_distinct_and_counted(self):
+        ring = HashRing(range(8), vnodes=32)
+        for k in range(100):
+            owners = ring.owners(k, 3)
+            assert len(owners) == 3
+            assert len(set(owners)) == 3
+
+    def test_distribution_roughly_even(self):
+        ring = HashRing(range(8), vnodes=64)
+        counts = {n: 0 for n in range(8)}
+        for k in range(2000):
+            counts[ring.owner(k)] += 1
+        assert min(counts.values()) > 0
+        assert max(counts.values()) < 4 * (2000 / 8)
+
+    def test_stability_under_node_removal(self):
+        # Consistent hashing: dropping one node only moves that node's keys.
+        full = HashRing(range(8), vnodes=64)
+        smaller = HashRing([n for n in range(8) if n != 3], vnodes=64)
+        moved = sum(1 for k in range(1000)
+                    if full.owner(k) != 3
+                    and smaller.owner(k) != full.owner(k))
+        assert moved == 0
+
+
+def _events(trace):
+    return [(ev.name, ev.cat, ev.ph, ev.ts, ev.dur, ev.tid,
+             tuple(sorted((ev.args or {}).items())))
+            for ev in trace.events]
+
+
+class TestSingleNodeIdentity:
+    """ClusterSpec(n_servers=1) is byte-identical to the bare testbed."""
+
+    def _run_nfs(self, build):
+        testbed = build()
+        testbed.sim.trace.enable()
+        workload = SequentialReadWorkload(
+            request_size=8192, file_size=1 * MB,
+            streams_per_client=2).bind(testbed)
+        testbed.setup()
+        workload.run(until=0.02)
+        return _events(testbed.sim.trace)
+
+    def _run_web(self, build):
+        testbed = build()
+        testbed.sim.trace.enable()
+        workload = SpecWebWorkload(working_set_bytes=2 * MB).bind(testbed)
+        testbed.setup()
+        workload.run(until=0.02)
+        return _events(testbed.sim.trace)
+
+    def test_nfs_identical_event_stream(self):
+        spec = TestbedSpec.nfs(ServerMode.NCACHE)
+        direct = self._run_nfs(spec.build)
+        via_fleet = self._run_nfs(
+            lambda: ClusterSpec(testbed=spec).build().nodes[0].testbed)
+        assert direct == via_fleet
+        assert len(direct) > 0
+
+    def test_web_identical_event_stream(self):
+        spec = TestbedSpec.web(ServerMode.NCACHE)
+        direct = self._run_web(spec.build)
+        via_fleet = self._run_web(
+            lambda: ClusterSpec(testbed=spec).build().nodes[0].testbed)
+        assert direct == via_fleet
+        assert len(direct) > 0
+
+
+def _coop_fleet(n_servers=2, cooperative=True):
+    return ClusterSpec(
+        testbed=TestbedSpec.nfs(ServerMode.NCACHE, flush_interval_s=None,
+                                **scaled_memory_config(16)),
+        n_servers=n_servers, replication=n_servers, cooperative=cooperative,
+        group_blocks=8).build()
+
+
+def _read_file(fleet, node_index, path, nblocks):
+    testbed = fleet.nodes[node_index].testbed
+    def reads():
+        fh = testbed.file_handle(path)
+        client = testbed.clients[0]
+        for i in range(nblocks):
+            yield from client.read(fh, i * BLOCK_SIZE, BLOCK_SIZE)
+    run_until_complete(fleet.sim,
+                       start(fleet.sim, reads(), name=f"read-{node_index}"))
+
+
+class TestCooperativeCaching:
+    NBLOCKS = 8
+
+    def test_warm_peer_serves_all_misses(self):
+        fleet = _coop_fleet()
+        fleet.create_file("f", self.NBLOCKS * BLOCK_SIZE)
+        fleet.setup()
+        _read_file(fleet, 0, "f", self.NBLOCKS)
+        backend_before = fleet.backend_reads()
+        _read_file(fleet, 1, "f", self.NBLOCKS)
+        assert fleet.counter_sum("fleet.peer_hit") == self.NBLOCKS
+        assert fleet.backend_reads() == backend_before
+
+    def test_without_cooperation_misses_hit_backend(self):
+        fleet = _coop_fleet(cooperative=False)
+        fleet.create_file("f", self.NBLOCKS * BLOCK_SIZE)
+        fleet.setup()
+        _read_file(fleet, 0, "f", self.NBLOCKS)
+        backend_before = fleet.backend_reads()
+        _read_file(fleet, 1, "f", self.NBLOCKS)
+        assert fleet.counter_sum("fleet.peer_probe") == 0
+        assert fleet.backend_reads() > backend_before
+
+    def test_peer_endpoints_exclude_self(self):
+        fleet = _coop_fleet(n_servers=2)
+        for lbn in range(0, 64, 8):
+            for node in fleet.nodes:
+                endpoints = fleet.peer_endpoints(lbn, exclude=node.index)
+                assert all(f"s{node.index}." not in ep.ip
+                           for ep in endpoints)
+
+
+class TestFleetScalingExperiment:
+    def test_coop_cuts_backend_reads_and_workers_agree(self):
+        specs = [RunSpec(
+            fn="repro.experiments.fleet_scaling:measure_point",
+            args=(4, coop, 2, True), label=f"coop={coop}")
+            for coop in (True, False)]
+        serial = [rr.value for rr in run_specs(specs, workers=1)]
+        pooled = [rr.value for rr in run_specs(specs, workers=2)]
+        assert serial == pooled  # deterministic across worker counts
+        coop, solo = serial
+        assert coop["backend_per_kop"] < solo["backend_per_kop"]
+        assert coop["backend_reads"] < solo["backend_reads"]
+        assert coop["peer_hit_pct"] > 0

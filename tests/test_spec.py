@@ -1,0 +1,109 @@
+"""TestbedSpec/ClusterSpec validation, pickling, and the factory shim."""
+
+import pickle
+
+import pytest
+
+from repro.servers import (
+    ClusterSpec,
+    NfsTestbed,
+    ServerMode,
+    TestbedSpec,
+    WebTestbed,
+    build_testbed,
+)
+from repro.servers.spec import KIND_DEFAULTS
+
+
+class TestTestbedSpec:
+    def test_defaults(self):
+        spec = TestbedSpec()
+        assert spec.kind == "nfs"
+        assert spec.mode is ServerMode.ORIGINAL
+        assert spec.config == ()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown testbed kind"):
+            TestbedSpec(kind="ftp")
+
+    def test_string_mode_coerced(self):
+        assert TestbedSpec(mode="ncache").mode is ServerMode.NCACHE
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            TestbedSpec(mode="turbo")
+
+    def test_unknown_config_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown TestbedConfig"):
+            TestbedSpec(config=(("warp_factor", 9),))
+
+    def test_duplicate_config_field_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TestbedSpec(config=(("n_daemons", 8), ("n_daemons", 9)))
+
+    def test_config_mapping_normalized_sorted(self):
+        spec = TestbedSpec(config={"n_daemons": 8, "n_client_hosts": 2})
+        assert spec.config == (("n_client_hosts", 2), ("n_daemons", 8))
+
+    def test_flush_interval_validation(self):
+        with pytest.raises(ValueError, match="flush_interval_s"):
+            TestbedSpec(flush_interval_s=0)
+        assert TestbedSpec(flush_interval_s=None).flush_interval_s is None
+
+    def test_classmethod_kwargs_become_config(self):
+        spec = TestbedSpec.nfs(ServerMode.NCACHE, n_daemons=4, seed=7)
+        assert spec.seed == 7  # own field, not config
+        assert ("n_daemons", 4) in spec.config
+
+    def test_testbed_config_merges_kind_defaults(self):
+        cfg = TestbedSpec.nfs().testbed_config()
+        defaults = dict(KIND_DEFAULTS["nfs"])
+        assert cfg.n_daemons == defaults["n_daemons"]
+        cfg = TestbedSpec.nfs(n_daemons=3).testbed_config()
+        assert cfg.n_daemons == 3
+
+    def test_picklable_and_hashable(self):
+        spec = TestbedSpec.web(ServerMode.NCACHE, n_server_nics=1)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert hash(clone) == hash(spec)
+
+    def test_build_constructs_right_kind(self):
+        assert isinstance(TestbedSpec.nfs().build(), NfsTestbed)
+        assert isinstance(TestbedSpec.web().build(), WebTestbed)
+
+
+class TestClusterSpec:
+    def test_defaults_single_node(self):
+        spec = ClusterSpec()
+        assert spec.n_servers == 1
+        assert not spec.cooperative
+
+    def test_replication_bounds(self):
+        with pytest.raises(ValueError, match="replication"):
+            ClusterSpec(n_servers=2, replication=3)
+        with pytest.raises(ValueError, match="replication"):
+            ClusterSpec(n_servers=2, replication=0)
+
+    def test_cooperative_requires_ncache_mode(self):
+        with pytest.raises(ValueError, match="NCACHE"):
+            ClusterSpec(testbed=TestbedSpec.nfs(ServerMode.ORIGINAL),
+                        n_servers=2, cooperative=True)
+
+    def test_picklable(self):
+        spec = ClusterSpec(testbed=TestbedSpec.nfs(ServerMode.NCACHE),
+                           n_servers=4, replication=2, cooperative=True)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestFactoryShim:
+    def test_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="TestbedSpec"):
+            build_testbed("nfs", ServerMode.ORIGINAL)
+
+    def test_still_builds_equivalent_testbed(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = build_testbed("nfs", ServerMode.NCACHE, n_daemons=4)
+        via_spec = TestbedSpec.nfs(ServerMode.NCACHE, n_daemons=4).build()
+        assert type(legacy) is type(via_spec)
+        assert legacy.config == via_spec.config

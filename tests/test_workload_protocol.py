@@ -1,0 +1,96 @@
+"""Every workload generator speaks the same bind/run/describe protocol."""
+
+import pytest
+
+from repro.servers import ClusterSpec, ServerMode, TestbedSpec
+from repro.workloads import (
+    AllHitReadWorkload,
+    AllHitWebWorkload,
+    FleetZipfWorkload,
+    SequentialReadWorkload,
+    SpecSfsWorkload,
+    SpecWebWorkload,
+    TracePlayer,
+    Workload,
+    resolve_testbed,
+)
+
+MB = 1 << 20
+
+ALL_WORKLOADS = [SequentialReadWorkload, AllHitReadWorkload,
+                 SpecSfsWorkload, SpecWebWorkload, AllHitWebWorkload,
+                 TracePlayer, FleetZipfWorkload]
+
+
+@pytest.mark.parametrize("cls", ALL_WORKLOADS)
+def test_conforms_to_protocol(cls):
+    workload = cls()
+    assert isinstance(workload, Workload)
+    assert not workload.bound
+
+
+@pytest.mark.parametrize("cls", ALL_WORKLOADS)
+def test_describe_before_bind(cls):
+    info = cls().describe()
+    assert info["workload"] == cls.__name__
+
+
+@pytest.mark.parametrize("cls", ALL_WORKLOADS)
+def test_run_unbound_raises(cls):
+    with pytest.raises(ValueError, match="not bound"):
+        cls().run(until=1.0)
+
+
+def test_bind_returns_self_and_rejects_rebind():
+    testbed = TestbedSpec.nfs().build()
+    workload = SequentialReadWorkload(file_size=1 * MB)
+    assert workload.bind(testbed) is workload
+    assert workload.bound
+    with pytest.raises(ValueError, match="already bound"):
+        workload.bind(testbed)
+
+
+def test_bind_rejects_non_testbed():
+    with pytest.raises(TypeError):
+        SequentialReadWorkload(file_size=1 * MB).bind(object())
+
+
+def test_bind_then_run_generates_load():
+    testbed = TestbedSpec.nfs(ServerMode.NCACHE).build()
+    workload = SequentialReadWorkload(file_size=1 * MB,
+                                      streams_per_client=2).bind(testbed)
+    testbed.setup()
+    workload.run(until=0.05)
+    assert testbed.meters.throughput.ops.value > 0
+
+
+def test_prewarm_runs_once_before_measurement():
+    testbed = TestbedSpec.web(ServerMode.NCACHE).build()
+    workload = AllHitWebWorkload(working_set_bytes=1 * MB).bind(testbed)
+    testbed.setup()
+    workload.run(until=0.05)
+    served = testbed.target.commands_served
+    workload.run(until=0.10)  # no second prewarm, no new backend reads
+    assert testbed.target.commands_served == served
+
+
+def test_single_node_fleet_unwraps_for_node_scoped_workload():
+    fleet = ClusterSpec(testbed=TestbedSpec.nfs()).build()
+    workload = SequentialReadWorkload(file_size=1 * MB).bind(fleet)
+    assert workload._target is fleet.nodes[0].testbed
+
+
+def test_multi_node_fleet_rejected_for_node_scoped_workload():
+    fleet = ClusterSpec(testbed=TestbedSpec.nfs(), n_servers=2).build()
+    with pytest.raises(ValueError, match="fleet-aware"):
+        SequentialReadWorkload(file_size=1 * MB).bind(fleet)
+    assert resolve_testbed(fleet.nodes[1].testbed) is fleet.nodes[1].testbed
+
+
+def test_fleet_aware_workload_binds_whole_fleet():
+    fleet = ClusterSpec(testbed=TestbedSpec.nfs(ServerMode.NCACHE),
+                        n_servers=2).build()
+    workload = FleetZipfWorkload(n_files=4, file_size=64 * 1024).bind(fleet)
+    assert workload._target is fleet
+    info = workload.describe()
+    assert info["n_files"] == 4
