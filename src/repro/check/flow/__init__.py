@@ -1,0 +1,177 @@
+"""``repro.check.flow`` — project-wide interprocedural analysis.
+
+Where :mod:`repro.check.rules` checks one file at a time, this package
+builds a whole-program view (module import graph + call graph, see
+:mod:`.project`), runs a small abstract interpreter per function
+(:mod:`.dataflow`), and layers four rule packs on top:
+
+========================  ================================================
+rule id                   invariant enforced
+========================  ================================================
+``flow-determinism``      no host-ordered iteration (sets, fs listings,
+                          address-keyed aggregation) reaches a
+                          sim-visible sink
+``flow-typestate``        buffer/chunk handles respect fresh -> pinned ->
+                          substituted -> evicted across function
+                          boundaries
+``flow-engine``           no wallclock / blocking / global-random call is
+                          *reachable* from an engine process body
+``vocab-drift``           emitted trace/metric name literals and the
+                          declared vocabulary are the same set
+========================  ================================================
+
+Entry point: :func:`analyze_paths`, wired to ``python -m repro.check
+--flow``.  Suppressions use the same per-line comment grammar as the
+per-file rules (``# check: ignore[flow-determinism] -- why``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..diagnostics import Diagnostic
+from . import determinism, engine_flow, typestate, vocab_drift
+from .engine_flow import DEFAULT_DEPTH
+from .project import ModuleInfo, Project, save_call_graph
+
+__all__ = [
+    "FlowRule", "FLOW_RULES", "all_flow_rules", "analyze_paths",
+    "AnalysisResult", "Project", "save_call_graph", "DEFAULT_DEPTH",
+]
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """Descriptor for one flow pack (mirrors the per-file Rule shape)."""
+
+    id: str
+    summary: str
+    invariant: str
+    run: Callable[[Project, Callable[[Diagnostic], None]], None]
+
+
+FLOW_RULES: Tuple[FlowRule, ...] = (
+    FlowRule(
+        id="flow-determinism",
+        summary="unordered iteration must not reach sim-visible sinks",
+        invariant=("simulated results are a pure function of the seeds: "
+                   "identical across runs, worker counts and "
+                   "PYTHONHASHSEED values"),
+        run=determinism.run,
+    ),
+    FlowRule(
+        id="flow-typestate",
+        summary="buffer/chunk handles follow the lifecycle state machine",
+        invariant=("fresh -> pinned -> substituted -> evicted, each "
+                   "transition at most once per handle per path; pinned "
+                   "purely-local handles are unpinned before return"),
+        run=typestate.run,
+    ),
+    FlowRule(
+        id="flow-engine",
+        summary="no host effect reachable from an engine process",
+        invariant=("event handlers and the functions they (transitively) "
+                   "call never read the wall clock, block the host, or "
+                   "draw from global random state"),
+        run=engine_flow.run,
+    ),
+    FlowRule(
+        id="vocab-drift",
+        summary="emitted names and the declared vocabulary stay in sync",
+        invariant=("DECLARED_TRACE_EVENTS / DECLARED_METRICS are exactly "
+                   "the literals emitted by repro.* modules (plus "
+                   "declared dynamic-name families)"),
+        run=vocab_drift.run,
+    ),
+)
+
+
+def all_flow_rules() -> Tuple[FlowRule, ...]:
+    """Every registered flow pack, in execution order."""
+    return FLOW_RULES
+
+
+def _module_for(project: Project, display: str) -> Optional[ModuleInfo]:
+    for info in project.modules.values():
+        if info.display == display:
+            return info
+    return None
+
+
+@dataclass
+class AnalysisResult:
+    """What one ``--flow`` run produced."""
+
+    project: Project
+    diagnostics: List[Diagnostic]
+
+    @property
+    def active(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if not d.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+
+def analyze_paths(files: Iterable[Path],
+                  rules: Optional[Sequence[str]] = None,
+                  depth: int = engine_flow.DEFAULT_DEPTH,
+                  cache_path: Optional[Path] = None,
+                  stale_ignores: bool = True) -> AnalysisResult:
+    """Build the project model and run the flow packs over it.
+
+    ``rules`` filters by rule id (None = all packs; a filtered run also
+    disables the stale-suppression check, since it cannot prove a
+    suppression unused); ``depth`` bounds the ``flow-engine``
+    reachability walk; ``cache_path`` points at a call-graph JSON
+    produced by a previous run (content-digest keyed, so a stale cache
+    is merely ignored).
+    """
+    project = Project.build(files, cache_path=cache_path)
+    wanted = set(rules) if rules is not None else None
+    if wanted is not None:
+        stale_ignores = False
+    diagnostics: List[Diagnostic] = []
+    seen: Dict[Tuple[str, str, int, int, str], None] = {}
+    used: Dict[str, List[Tuple[int, str]]] = {}
+
+    def add(diag: Diagnostic) -> None:
+        key = (diag.rule, diag.path, diag.line, diag.col, diag.message)
+        if key in seen:
+            return
+        seen[key] = None
+        module = _module_for(project, diag.path)
+        if module is not None \
+                and module.suppressions.covers(diag.rule, diag.line):
+            diag.suppressed = True
+            used.setdefault(diag.path, []).append((diag.line, diag.rule))
+        diagnostics.append(diag)
+
+    for info in project.modules.values():
+        if info.syntax_error is not None:
+            line, col, message = info.syntax_error
+            diagnostics.append(Diagnostic(
+                rule="syntax", path=info.display, line=line, col=col,
+                message=f"file does not parse: {message}"))
+
+    for rule in FLOW_RULES:
+        if wanted is not None and rule.id not in wanted:
+            continue
+        if rule.id == "flow-engine":
+            engine_flow.run(project, add, depth=depth)
+        else:
+            rule.run(project, add)
+
+    if stale_ignores:
+        from ..linter import stale_ignore_diagnostics
+        run_ids = [rule.id for rule in FLOW_RULES]
+        for info in project.modules.values():
+            diagnostics.extend(stale_ignore_diagnostics(
+                info.display, info.suppressions, run_ids,
+                used.get(info.display, [])))
+
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return AnalysisResult(project=project, diagnostics=diagnostics)

@@ -1,0 +1,265 @@
+"""A small forward abstract interpreter for per-function dataflow.
+
+The rule packs need just enough dataflow to track an abstract value per
+local variable through straight-line code, branches, and loops.  This
+module provides the statement-walking skeleton; a pack subclasses
+:class:`FunctionInterp` and supplies the value lattice (``join``) plus
+expression evaluation (``eval_call`` and friends).
+
+Soundness posture (DESIGN.md §6.1): branches are *joined* (both arms
+analyzed from a copy of the incoming state, results merged), loop bodies
+run twice and join (enough for the monotone two-step lattices the packs
+use), ``try`` handlers analyze from the join of the states before and
+after the body, and nested function definitions are opaque.  There is no
+aliasing: two names are two facts.  The packs are therefore neither
+sound nor complete in general — they are tuned so that every report is
+worth reading, which is the only standard a linter survives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Generic, List, Optional, TypeVar
+
+V = TypeVar("V")
+
+#: A function-local abstract environment: variable name -> lattice value.
+Env = Dict[str, V]
+
+
+class FunctionInterp(Generic[V]):
+    """Abstract interpreter over one function body.
+
+    Subclasses implement :meth:`join` (the value lattice) and override
+    the ``eval_*`` / ``on_*`` hooks to give expressions meaning and to
+    report diagnostics.
+    """
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+
+    # -- pack interface ----------------------------------------------------
+
+    def join(self, a: V, b: V) -> V:
+        raise NotImplementedError
+
+    def initial_env(self) -> Env[V]:
+        """Starting environment (parameter bindings go here)."""
+        return {}
+
+    def eval_call(self, node: ast.Call, env: Env[V]) -> Optional[V]:
+        """Abstract value of a call expression (None = no information)."""
+        return None
+
+    def eval_expr_hook(self, node: ast.expr, env: Env[V]) -> Optional[V]:
+        """First-chance expression evaluation (None = use the default)."""
+        return None
+
+    def on_return(self, node: ast.Return, value: Optional[V],
+                  env: Env[V]) -> None:
+        """A ``return`` statement was executed under ``env``."""
+
+    def on_func_exit(self, env: Env[V]) -> None:
+        """The function body ran to its end (implicit ``return None``)."""
+
+    def on_for(self, node: ast.For, iter_value: Optional[V],
+               env: Env[V]) -> None:
+        """A ``for`` loop is about to run; ``iter_value`` is abstract."""
+
+    def enter_loop(self, node: ast.For, iter_value: Optional[V]) -> None:
+        """The body of ``for`` loop ``node`` is about to be analyzed."""
+
+    def exit_loop(self, node: ast.For) -> None:
+        """The body of ``for`` loop ``node`` has been analyzed."""
+
+    def on_assign(self, stmt: ast.Assign, env: Env[V]) -> None:
+        """An assignment executed (after targets were bound)."""
+
+    def bind_loop_target(self, target: ast.expr,
+                         iter_value: Optional[V], env: Env[V]) -> None:
+        """Bind the loop variable(s); default drops any information."""
+        for name in _target_names(target):
+            env.pop(name, None)
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> None:
+        env = self.initial_env()
+        assert isinstance(self.func, (ast.FunctionDef, ast.AsyncFunctionDef))
+        env = self.exec_body(list(self.func.body), env)
+        self.on_func_exit(env)
+
+    def exec_body(self, body: List[ast.stmt], env: Env[V]) -> Env[V]:
+        for stmt in body:
+            env = self.exec_stmt(stmt, env)
+        return env
+
+    def exec_stmt(self, stmt: ast.stmt, env: Env[V]) -> Env[V]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return env  # nested definitions are opaque
+        if isinstance(stmt, ast.Assign):
+            value = self.eval_expr(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, value, env)
+            self.on_assign(stmt, env)
+            return env
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self.eval_expr(stmt.value, env), env)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            value = self.eval_expr(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                old = env.get(stmt.target.id)
+                joined = value if old is None else (
+                    old if value is None else self.join(old, value))
+                self._set(stmt.target.id, joined, env)
+            return env
+        if isinstance(stmt, ast.Expr):
+            self.eval_expr(stmt.value, env)
+            return env
+        if isinstance(stmt, ast.Return):
+            value = (self.eval_expr(stmt.value, env)
+                     if stmt.value is not None else None)
+            self.on_return(stmt, value, env)
+            return env
+        if isinstance(stmt, ast.If):
+            self.eval_expr(stmt.test, env)
+            then_env = self.exec_body(stmt.body, dict(env))
+            else_env = self.exec_body(stmt.orelse, dict(env))
+            return self.join_envs(then_env, else_env)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_value = self.eval_expr(stmt.iter, env)
+            if isinstance(stmt, ast.For):
+                self.on_for(stmt, iter_value, env)
+            body_env = dict(env)
+            self.bind_loop_target(stmt.target, iter_value, body_env)
+            if isinstance(stmt, ast.For):
+                self.enter_loop(stmt, iter_value)
+            # Two joined passes approximate the loop fixpoint for the
+            # packs' shallow lattices.  The loop target is rebound fresh
+            # before each pass — each iteration gets a new binding, so
+            # facts about it must not leak across iterations.
+            once = self.exec_body(stmt.body, dict(body_env))
+            second = dict(once)
+            self.bind_loop_target(stmt.target, iter_value, second)
+            twice = self.exec_body(stmt.body, second)
+            if isinstance(stmt, ast.For):
+                self.exit_loop(stmt)
+            after = self.join_envs(env, self.join_envs(once, twice))
+            return self.exec_body(stmt.orelse, after)
+        if isinstance(stmt, ast.While):
+            self.eval_expr(stmt.test, env)
+            once = self.exec_body(stmt.body, dict(env))
+            twice = self.exec_body(stmt.body, dict(once))
+            after = self.join_envs(env, self.join_envs(once, twice))
+            return self.exec_body(stmt.orelse, after)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self.eval_expr(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, value, env)
+            return self.exec_body(stmt.body, env)
+        if isinstance(stmt, ast.Try):
+            body_env = self.exec_body(stmt.body, dict(env))
+            merged = self.join_envs(env, body_env)
+            out = body_env
+            for handler in stmt.handlers:
+                handler_env = self.exec_body(handler.body, dict(merged))
+                out = self.join_envs(out, handler_env)
+            out = self.exec_body(stmt.orelse, out)
+            return self.exec_body(stmt.finalbody, out)
+        if isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval_expr(child, env)
+            return env
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+            return env
+        return env
+
+    # -- expressions -------------------------------------------------------
+
+    def eval_expr(self, node: ast.expr, env: Env[V]) -> Optional[V]:
+        first = self.eval_expr_hook(node, env)
+        if first is not None:
+            return first
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.Call):
+            for arg in node.args:
+                self.eval_expr(arg, env)
+            for kw in node.keywords:
+                self.eval_expr(kw.value, env)
+            return self.eval_call(node, env)
+        if isinstance(node, ast.IfExp):
+            self.eval_expr(node.test, env)
+            a = self.eval_expr(node.body, env)
+            b = self.eval_expr(node.orelse, env)
+            return self._join_opt(a, b)
+        if isinstance(node, ast.BoolOp):
+            out: Optional[V] = None
+            for value in node.values:
+                out = self._join_opt(out, self.eval_expr(value, env))
+            return out
+        if isinstance(node, (ast.Await, ast.Yield, ast.YieldFrom,
+                             ast.Starred)):
+            inner = getattr(node, "value", None)
+            return self.eval_expr(inner, env) if inner is not None else None
+        if isinstance(node, ast.NamedExpr):
+            value = self.eval_expr(node.value, env)
+            self._bind(node.target, value, env)
+            return value
+        # Everything else: evaluate children for effects, no value.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval_expr(child, env)
+        return None
+
+    # -- helpers -----------------------------------------------------------
+
+    def join_envs(self, a: Env[V], b: Env[V]) -> Env[V]:
+        out: Env[V] = {}
+        for key in a.keys() | b.keys():
+            if key in a and key in b:
+                out[key] = self.join(a[key], b[key])
+            else:
+                out[key] = a.get(key, b.get(key))  # type: ignore[assignment]
+        return out
+
+    def _join_opt(self, a: Optional[V], b: Optional[V]) -> Optional[V]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return self.join(a, b)
+
+    def _bind(self, target: ast.expr, value: Optional[V],
+              env: Env[V]) -> None:
+        if isinstance(target, ast.Name):
+            self._set(target.id, value, env)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, None, env)
+        # Attribute / subscript targets carry no per-variable fact.
+
+    def _set(self, name: str, value: Optional[V], env: Env[V]) -> None:
+        if value is None:
+            env.pop(name, None)
+        else:
+            env[name] = value
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: List[str] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    return []

@@ -1,0 +1,255 @@
+"""``flow-determinism``: unordered iteration reaching sim-visible sinks.
+
+The fleet_scaling / parallel-sweep results are only worker-count
+independent because every simulated quantity is a pure function of the
+seeds.  One classic way to break that silently is to let *host-ordered*
+data — set/frozenset iteration order (``PYTHONHASHSEED``), directory
+listing order, ``id()``/``hash()``-keyed aggregation — flow into a
+sim-visible sink: engine scheduling, trace emission, histogram
+recording, or RNG stream derivation.  The per-file rules cannot see
+this; it needs per-function dataflow (which locals hold unordered
+collections) plus interprocedural summaries (which project functions
+*return* unordered collections).
+
+The lattice is one bit per variable: UNORDERED or untracked.  Ordering
+launderers (``sorted``, ``min``/``max`` without an address key) drop the
+bit; structure-preserving constructors (``list``, ``tuple``, ``iter``,
+``reversed``, ``enumerate``) keep it.  A diagnostic fires when a sink
+call executes inside a ``for`` over an unordered value (including a
+``yield`` there, which schedules the engine), or an unordered value is
+passed to a sink as an argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, List, Optional, Set, Tuple
+
+from .. import vocabulary as vocab
+from ..diagnostics import Diagnostic
+from .dataflow import Env, FunctionInterp
+from .project import FunctionInfo, ModuleInfo, Project, dotted_name
+
+#: The single non-bottom lattice value.
+UNORDERED = "unordered"
+
+#: Constructors that preserve the order (or lack of order) of their
+#: argument: list(set) iterates in hash order.
+_PRESERVING = frozenset({"list", "tuple", "iter", "reversed", "enumerate"})
+
+#: Set methods whose result is another set.
+_SET_PRODUCING_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+
+
+def _address_key(node: ast.Call) -> bool:
+    """True when the call carries ``key=id`` / ``key=hash``."""
+    for kw in node.keywords:
+        if kw.arg == "key" and isinstance(kw.value, ast.Name) \
+                and kw.value.id in vocab.ADDRESS_KEY_FUNCS:
+            return True
+    return False
+
+
+class _Interp(FunctionInterp[str]):
+    """Order-bit interpreter for one function."""
+
+    def __init__(self, func: FunctionInfo, module: ModuleInfo,
+                 project: Project,
+                 returns_unordered: Set[str],
+                 report: Optional[Callable[[ast.AST, str], None]]) -> None:
+        super().__init__(func.node)
+        self.info = func
+        self.module = module
+        self.project = project
+        self.returns_unordered = returns_unordered
+        self.report = report
+        self.returned_unordered = False
+        self._loop_stack: List[ast.For] = []
+
+    # -- lattice -----------------------------------------------------------
+
+    def join(self, a: str, b: str) -> str:
+        return UNORDERED
+
+    # -- expression evaluation --------------------------------------------
+
+    def eval_expr_hook(self, node: ast.expr,
+                       env: Env[str]) -> Optional[str]:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return UNORDERED
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+            left = self.eval_expr(node.left, env)
+            right = self.eval_expr(node.right, env)
+            if UNORDERED in (left, right):
+                return UNORDERED
+            return None
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            # A comprehension over an unordered iterable produces an
+            # unordered sequence (and hash-order element evaluation).
+            value: Optional[str] = None
+            inner = dict(env)
+            for gen in node.generators:
+                if self.eval_expr(gen.iter, inner) == UNORDERED:
+                    value = UNORDERED
+                for name in _comp_names(gen.target):
+                    inner.pop(name, None)
+            self.eval_expr(node.elt, inner)
+            return value
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if self._loop_stack and self.report is not None:
+                self.report(
+                    node,
+                    "yield inside iteration over an unordered collection: "
+                    "events reach the engine in set/hash order, which "
+                    "breaks run-to-run determinism — iterate "
+                    "sorted(...) instead")
+            return None
+        return None
+
+    def eval_call(self, node: ast.Call, env: Env[str]) -> Optional[str]:
+        raw = dotted_name(node.func)
+        arg_values = [self.eval_expr(a, env) for a in node.args]
+        self._check_sink(node, raw, arg_values, env)
+        if raw is None:
+            return None
+        tail = raw.split(".")[-1]
+        if raw in ("set", "frozenset"):
+            return UNORDERED
+        if raw in vocab.UNORDERED_CALLS or tail in ("listdir", "scandir",
+                                                    "iglob"):
+            return UNORDERED
+        if raw in ("sorted", "min", "max"):
+            if _address_key(node):
+                if self.report is not None:
+                    self.report(
+                        node,
+                        f"{raw}(..., key={_key_name(node)}) orders by "
+                        f"object address/hash — an unstable order; key "
+                        f"on a deterministic field instead")
+                return UNORDERED
+            return None  # launders the order bit
+        if raw in _PRESERVING and arg_values:
+            return arg_values[0] if arg_values[0] == UNORDERED else None
+        if "." in raw:
+            receiver = raw.rsplit(".", 1)[0]
+            if tail in _SET_PRODUCING_METHODS \
+                    and env.get(receiver) == UNORDERED:
+                return UNORDERED
+            if tail == "sort" and _address_key(node):
+                # lst.sort(key=id): the list itself becomes address-ordered.
+                env[receiver.split(".")[0]] = UNORDERED
+                if self.report is not None:
+                    self.report(
+                        node,
+                        f".sort(key={_key_name(node)}) orders by object "
+                        f"address/hash — an unstable order")
+                return None
+        callee = self._callee_for(node, raw)
+        if callee is not None and callee in self.returns_unordered:
+            return UNORDERED
+        return None
+
+    # -- loops and sinks ---------------------------------------------------
+
+    def enter_loop(self, node: ast.For, iter_value: Optional[str]) -> None:
+        if iter_value == UNORDERED:
+            self._loop_stack.append(node)
+
+    def exit_loop(self, node: ast.For) -> None:
+        if self._loop_stack and self._loop_stack[-1] is node:
+            self._loop_stack.pop()
+
+    def on_return(self, node: ast.Return, value: Optional[str],
+                  env: Env[str]) -> None:
+        if value == UNORDERED:
+            self.returned_unordered = True
+
+    def _check_sink(self, node: ast.Call, raw: Optional[str],
+                    arg_values: List[Optional[str]],
+                    env: Env[str]) -> None:
+        if self.report is None or raw is None:
+            return
+        tail = raw.split(".")[-1]
+        is_sink = (("." in raw and tail in vocab.ORDER_SINK_METHODS)
+                   or tail in vocab.ORDER_SINK_CALLS)
+        if not is_sink:
+            return
+        if self._loop_stack:
+            self.report(
+                node,
+                f"sim-visible sink {tail}() called inside iteration over "
+                f"an unordered collection: results depend on set/hash "
+                f"order — iterate sorted(...) so every worker count "
+                f"replays the same event order")
+            return
+        kw_values = [self.eval_expr(kw.value, env) for kw in node.keywords]
+        if UNORDERED in arg_values or UNORDERED in kw_values:
+            self.report(
+                node,
+                f"unordered collection passed to sim-visible sink "
+                f"{tail}(): its serialization order depends on "
+                f"PYTHONHASHSEED — sort it first")
+
+    def _callee_for(self, node: ast.Call, raw: str) -> Optional[str]:
+        for site in self.info.calls:
+            if site.line == node.lineno and site.col == node.col_offset + 1 \
+                    and site.raw == raw:
+                return site.callee
+        return None
+
+
+def _comp_names(target: ast.expr) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: List[str] = []
+        for elt in target.elts:
+            out.extend(_comp_names(elt))
+        return out
+    return []
+
+
+def _key_name(node: ast.Call) -> str:
+    for kw in node.keywords:
+        if kw.arg == "key" and isinstance(kw.value, ast.Name):
+            return kw.value.id
+    return "id"
+
+
+def run(project: Project, add: Callable[[Diagnostic], None]) -> None:
+    """Run the pack: summary fixpoint, then one reporting pass."""
+    returns_unordered: Set[str] = set()
+    for _ in range(3):  # summaries stabilize in <=3 passes in practice
+        changed = False
+        for func in project.functions.values():
+            if func.qual in returns_unordered:
+                continue
+            module = project.function_module(func)
+            interp = _Interp(func, module, project, returns_unordered,
+                             report=None)
+            interp.run()
+            if interp.returned_unordered:
+                returns_unordered.add(func.qual)
+                changed = True
+        if not changed:
+            break
+
+    for func in project.functions.values():
+        module = project.function_module(func)
+        seen: Set[Tuple[int, int, str]] = set()
+
+        def report(node: ast.AST, message: str,
+                   _module: ModuleInfo = module) -> None:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0) + 1
+            key = (line, col, message)
+            if key in seen:
+                return  # joined branch/loop passes re-evaluate expressions
+            seen.add(key)
+            add(Diagnostic(rule="flow-determinism", path=_module.display,
+                           line=line, col=col, message=message))
+
+        _Interp(func, module, project, returns_unordered, report).run()

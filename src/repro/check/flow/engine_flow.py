@@ -1,0 +1,110 @@
+"""``flow-engine``: host effects *reachable* from engine processes.
+
+The per-file ``engine-discipline`` rule flags a blocking call written
+directly inside a generator body.  That guard is trivially defeated by
+one helper function: ``def proc(): yield ...; _flush()`` where
+``_flush`` calls ``time.sleep``.  This pack lifts the rule to
+reachability over the project call graph: starting from every generator
+function (engine processes and hook bodies are generators), walk
+resolved call edges up to ``--flow-depth`` frames and report any
+wall-clock read, blocking primitive, or global-random call found along
+the way — with the full call chain in the message, anchored at the call
+site inside the generator so one suppression covers one chain.
+
+Per-category vocabulary allowances apply at the module that *contains*
+the offending call (``repro/perf`` may read the host clock; only
+``repro/sim/rng.py`` may touch ``random``), so the sanctioned routes
+never light up no matter who reaches them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Set, Tuple
+
+from .. import vocabulary as vocab
+from ..diagnostics import Diagnostic
+from .project import CallSite, FunctionInfo, Project
+
+#: (category, human label) — categories index the allowance tables.
+_WALLCLOCK = "wallclock"
+_BLOCKING = "blocking"
+_RANDOM = "global-random"
+
+#: Default traversal depth; chains deeper than this are in practice
+#: either false edges or code that needs restructuring anyway.
+DEFAULT_DEPTH = 10
+
+
+def _bad_calls(project: Project,
+               func: FunctionInfo) -> List[Tuple[str, str, int]]:
+    """(category, raw name, line) for host-effect calls in ``func``."""
+    module = project.function_module(func)
+    out: List[Tuple[str, str, int]] = []
+    wallclock_ok = vocab.path_matches(module.posix,
+                                      vocab.WALLCLOCK_ALLOWED_PATHS)
+    random_ok = vocab.path_matches(module.posix, vocab.RANDOM_ALLOWED_PATHS)
+    for site in func.calls:
+        raw = site.raw
+        if raw in vocab.WALLCLOCK_CALLS:
+            if not wallclock_ok:
+                out.append((_WALLCLOCK, raw, site.line))
+        elif raw in vocab.BLOCKING_CALLS:
+            out.append((_BLOCKING, raw, site.line))
+        elif (raw.startswith("random.") or raw.startswith("numpy.random.")
+              or raw.startswith("np.random.")):
+            if not random_ok:
+                out.append((_RANDOM, raw, site.line))
+    return out
+
+
+def run(project: Project, add: Callable[[Diagnostic], None],
+        depth: int = DEFAULT_DEPTH) -> None:
+    """BFS from every generator over the call graph; report reachable
+    host effects at the generator's own call site."""
+    bad_by_func: Dict[str, List[Tuple[str, str, int]]] = {}
+    for qual, func in project.functions.items():
+        bad = _bad_calls(project, func)
+        if bad:
+            bad_by_func[qual] = bad
+
+    for root_qual, root in project.functions.items():
+        if not root.generator:
+            continue
+        root_module = project.function_module(root)
+        # BFS with shortest-chain bookkeeping.  ``origin`` is the call
+        # site *inside the root* that begins each chain — that is where
+        # the diagnostic (and any suppression) lands.
+        seen: Set[str] = {root_qual}
+        queue: Deque[Tuple[str, CallSite, List[str], int]] = deque()
+        for site in root.calls:
+            if site.callee is not None and site.callee != root_qual:
+                queue.append((site.callee, site, [site.raw], 1))
+        reported: Set[Tuple[str, str]] = set()
+        while queue:
+            qual, origin, chain, d = queue.popleft()
+            if qual in seen or d > depth:
+                continue
+            seen.add(qual)
+            for category, raw, line in bad_by_func.get(qual, ()):
+                key = (qual, raw)
+                if key in reported:
+                    continue
+                reported.add(key)
+                target = project.functions[qual]
+                target_module = project.function_module(target)
+                path = " -> ".join(chain)
+                add(Diagnostic(
+                    rule="flow-engine", path=root_module.display,
+                    line=origin.line, col=origin.col,
+                    message=(
+                        f"{category} call {raw}() is reachable from "
+                        f"engine process {root.name!r} via {path} "
+                        f"({target_module.display}:{line}, depth {d}): "
+                        f"model the effect with sim primitives or break "
+                        f"the call out of the handler path")))
+            func = project.functions[qual]
+            for site in func.calls:
+                if site.callee is not None and site.callee not in seen:
+                    queue.append((site.callee, origin,
+                                  chain + [site.raw], d + 1))

@@ -1,0 +1,406 @@
+"""Project index: modules, functions, imports, and the call graph.
+
+The flow analyses are *whole-program*: they need to know which function a
+call site reaches, which module a name was imported from, and which
+functions are generator bodies (engine processes).  This module builds
+that picture once per run, from ``ast`` alone — linted code is never
+imported, so the analyzer works on broken or dependency-missing trees,
+exactly like the per-file rules.
+
+Resolution strategy (documented in DESIGN.md §6.1):
+
+* **module-level names** — resolved exactly through the module's own
+  ``import`` / ``from .. import`` statements (including relative
+  imports) and module-level ``def`` / ``class`` statements;
+* **``self.method()``** — resolved to the enclosing class's own method
+  when it exists, else by the unique-name rule below;
+* **``obj.method()``** — resolved only when exactly one project function
+  has that method name (the *unique-name rule*).  Ambiguous method names
+  produce no edge: the call graph is deliberately an
+  under-approximation, so reachability findings are high-confidence at
+  the cost of missing dynamically-dispatched paths.
+
+Every call site also keeps the dotted name *as written* (``time.time``,
+``random.shuffle``); the rule packs match those raw names against the
+vocabulary's call deny-lists for externals the graph cannot resolve.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..diagnostics import Suppressions, parse_suppressions
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def own_statements(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's body without descending into nested defs."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def is_generator(func: ast.AST) -> bool:
+    """True when the function's own body yields (an engine process)."""
+    return any(isinstance(node, (ast.Yield, ast.YieldFrom))
+               for node in own_statements(func))
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function's own body."""
+
+    raw: str                      # dotted name as written at the call site
+    callee: Optional[str]         # resolved project function qual, or None
+    line: int
+    col: int
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project."""
+
+    qual: str                     # "repro.sim.engine.Simulator.run"
+    module: str
+    name: str
+    class_name: Optional[str]
+    node: ast.AST                 # FunctionDef / AsyncFunctionDef
+    line: int
+    params: List[str]
+    generator: bool
+    calls: List[CallSite] = field(default_factory=list)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    name: str                     # dotted module name ("repro.sim.engine")
+    path: Path
+    display: str                  # path as reported in diagnostics
+    posix: str                    # resolved POSIX path (vocabulary matching)
+    source: str
+    tree: ast.Module
+    #: local scope: name -> ("module", dotted) | ("symbol", dotted)
+    scope: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    functions: List[FunctionInfo] = field(default_factory=list)
+    suppressions: Suppressions = field(default_factory=Suppressions)
+    syntax_error: Optional[Tuple[int, int, str]] = None
+
+
+class Project:
+    """The whole-program index the flow packs analyze."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: method/function name -> quals defining it (unique-name rule)
+        self.by_name: Dict[str, List[str]] = {}
+        self.digest: str = ""
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, files: Sequence[Path],
+              cache_path: Optional[Path] = None) -> "Project":
+        """Parse ``files`` and build the call graph.
+
+        When ``cache_path`` holds a previous :meth:`export` whose source
+        digest matches, call-site resolution is reused from the cache
+        (the CI job caches this between runs); ASTs are always re-parsed
+        because the dataflow packs walk them directly.
+        """
+        project = cls()
+        digests: List[str] = []
+        for path in files:
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            name = module_name_for(path)
+            digests.append(name + ":"
+                           + hashlib.sha256(source.encode()).hexdigest())
+            posix = path.resolve().as_posix()
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                stub = ast.Module(body=[], type_ignores=[])
+                info = ModuleInfo(name=name, path=path, display=str(path),
+                                  posix=posix, source=source, tree=stub)
+                info.syntax_error = (exc.lineno or 1, (exc.offset or 0) + 1,
+                                     exc.msg or "invalid syntax")
+                project.modules[name] = info
+                continue
+            info = ModuleInfo(name=name, path=path, display=str(path),
+                              posix=posix, source=source, tree=tree,
+                              suppressions=parse_suppressions(source))
+            project.modules[name] = info
+        project.digest = hashlib.sha256(
+            "\n".join(sorted(digests)).encode()).hexdigest()
+
+        for info in project.modules.values():
+            _index_module(project, info)
+        for info in project.modules.values():
+            _collect_functions(project, info)
+
+        cached = _load_cache(cache_path, project.digest)
+        if cached is not None:
+            _apply_cached_calls(project, cached)
+        else:
+            for func in project.functions.values():
+                _resolve_calls(project, func)
+        return project
+
+    # -- queries -----------------------------------------------------------
+
+    def function_module(self, func: FunctionInfo) -> ModuleInfo:
+        return self.modules[func.module]
+
+    def unique_by_name(self, name: str) -> Optional[str]:
+        quals = self.by_name.get(name, [])
+        return quals[0] if len(quals) == 1 else None
+
+    # -- export / cache ----------------------------------------------------
+
+    def export(self) -> Dict[str, object]:
+        """JSON-able call graph (``--call-graph-out`` / the CI cache)."""
+        functions = {}
+        for qual, func in sorted(self.functions.items()):
+            functions[qual] = {
+                "module": func.module,
+                "line": func.line,
+                "generator": func.generator,
+                "calls": [{"raw": c.raw, "callee": c.callee,
+                           "line": c.line, "col": c.col}
+                          for c in func.calls],
+            }
+        return {
+            "digest": self.digest,
+            "modules": sorted(self.modules),
+            "functions": functions,
+        }
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a file, anchored at ``src/`` when present.
+
+    ``.../src/repro/sim/engine.py`` -> ``repro.sim.engine``;
+    ``.../tests/test_x.py`` -> ``tests.test_x``; everything else uses
+    the path's trailing components so names stay unique per run.
+    """
+    parts = list(path.resolve().with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in ("src",):
+        if anchor in parts:
+            idx = len(parts) - 1 - parts[::-1].index(anchor)
+            return ".".join(parts[idx + 1:]) or parts[-1]
+    if "tests" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("tests")
+        return ".".join(parts[idx:])
+    return ".".join(parts[-2:]) if len(parts) >= 2 else parts[-1]
+
+
+def _package_of(module: str, path: Path) -> str:
+    """The package a module's relative imports resolve against."""
+    if path.name == "__init__.py":
+        return module
+    return module.rsplit(".", 1)[0] if "." in module else ""
+
+
+def _index_module(project: Project, info: ModuleInfo) -> None:
+    """Fill the module's import scope and top-level definition names."""
+    package = _package_of(info.name, info.path)
+    for node in info.tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    info.scope[alias.asname] = ("module", alias.name)
+                else:
+                    root = alias.name.split(".")[0]
+                    info.scope[root] = ("module", root)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                up = package.split(".") if package else []
+                if node.level > 1:
+                    up = up[:len(up) - (node.level - 1)]
+                base = ".".join(up + ([node.module] if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                info.scope[bound] = ("symbol", f"{base}.{alias.name}")
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.scope[node.name] = ("symbol", f"{info.name}.{node.name}")
+        elif isinstance(node, ast.ClassDef):
+            info.scope[node.name] = ("symbol", f"{info.name}.{node.name}")
+
+
+def _collect_functions(project: Project, info: ModuleInfo) -> None:
+    """Register every function/method of a module (no nested defs)."""
+    def add(node: ast.AST, class_name: Optional[str]) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        scope = f"{info.name}.{class_name}" if class_name else info.name
+        qual = f"{scope}.{node.name}"
+        args = node.args
+        params = [a.arg for a in (args.posonlyargs + args.args)]
+        if args.vararg:
+            params.append(args.vararg.arg)
+        params.extend(a.arg for a in args.kwonlyargs)
+        func = FunctionInfo(qual=qual, module=info.name, name=node.name,
+                            class_name=class_name, node=node,
+                            line=node.lineno, params=params,
+                            generator=is_generator(node))
+        project.functions[qual] = func
+        project.by_name.setdefault(node.name, []).append(qual)
+        info.functions.append(func)
+
+    for node in info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            add(node, None)
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    add(sub, node.name)
+
+
+#: Method names too generic for the unique-name rule even when the
+#: project happens to define them exactly once today: resolving them by
+#: name alone would couple the graph to unrelated stdlib/duck-typed
+#: calls (``fh.read()``, ``q.get()``, ``cb()``...).
+_AMBIGUOUS_NAMES = frozenset({
+    "get", "set", "add", "put", "pop", "read", "write", "run", "start",
+    "stop", "close", "open", "send", "next", "update", "copy", "clear",
+    "append", "items", "keys", "values", "join", "split", "format",
+})
+
+
+def _resolve_call(project: Project, info: ModuleInfo,
+                  func: FunctionInfo, raw: str) -> Optional[str]:
+    parts = raw.split(".")
+    head, rest = parts[0], parts[1:]
+
+    if head == "self" and func.class_name is not None:
+        if len(rest) == 1:
+            own = f"{info.name}.{func.class_name}.{rest[0]}"
+            if own in project.functions:
+                return own
+        # fall through to the unique-name rule on the method name
+
+    if not rest:
+        entry = info.scope.get(head)
+        if entry is not None:
+            kind, target = entry
+            return _as_function(project, target)
+        return None
+
+    entry = info.scope.get(head)
+    if entry is not None:
+        kind, target = entry
+        candidate = _as_function(project, target + "." + ".".join(rest))
+        if candidate is not None:
+            return candidate
+    # obj.method() — the unique-name rule on the method name.
+    method = parts[-1]
+    if method in _AMBIGUOUS_NAMES or method.startswith("__"):
+        return None
+    return project.unique_by_name(method)
+
+
+def _as_function(project: Project, target: str) -> Optional[str]:
+    """Resolve a dotted target to a project function qual, if any.
+
+    ``mod.func`` resolves directly; ``mod.Class`` resolves to its
+    ``__init__``; ``pkg`` re-exports (``from .linter import lint_file``
+    imported as ``pkg.lint_file``) chase one level of symbol scope.
+    """
+    if target in project.functions:
+        return target
+    init = target + ".__init__"
+    if init in project.functions:
+        return init
+    module, _, name = target.rpartition(".")
+    info = project.modules.get(module)
+    if info is not None and name in info.scope:
+        kind, chained = info.scope[name]
+        if chained != target and chained in project.functions:
+            return chained
+        chained_init = chained + ".__init__"
+        if chained_init in project.functions:
+            return chained_init
+    return None
+
+
+def _resolve_calls(project: Project, func: FunctionInfo) -> None:
+    info = project.function_module(func)
+    for node in own_statements(func.node):
+        if not isinstance(node, ast.Call):
+            continue
+        raw = dotted_name(node.func)
+        if raw is None:
+            continue
+        callee = _resolve_call(project, info, func, raw)
+        if callee == func.qual:
+            callee_entry: Optional[str] = callee  # self-recursion kept
+        else:
+            callee_entry = callee
+        func.calls.append(CallSite(raw=raw, callee=callee_entry,
+                                   line=node.lineno,
+                                   col=node.col_offset + 1))
+
+
+def _load_cache(cache_path: Optional[Path],
+                digest: str) -> Optional[Dict[str, object]]:
+    if cache_path is None or not cache_path.exists():
+        return None
+    try:
+        data = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or data.get("digest") != digest:
+        return None
+    return data
+
+
+def _apply_cached_calls(project: Project, data: Dict[str, object]) -> None:
+    functions = data.get("functions")
+    if not isinstance(functions, dict):
+        return
+    for qual, func in project.functions.items():
+        entry = functions.get(qual)
+        if not isinstance(entry, dict):
+            continue
+        func.calls = [
+            CallSite(raw=c["raw"], callee=c["callee"],
+                     line=c["line"], col=c["col"])
+            for c in entry.get("calls", [])
+        ]
+
+
+def save_call_graph(project: Project, path: Path) -> None:
+    """Write the call graph (``--call-graph-out`` and the CI cache)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(project.export(), indent=2) + "\n",
+                    encoding="utf-8")

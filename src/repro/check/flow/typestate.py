@@ -1,0 +1,308 @@
+"""``flow-typestate``: static buffer/chunk lifecycle checking.
+
+The runtime sanitizer (:mod:`repro.check.sanitizer`) catches lifecycle
+violations a test happens to *execute*.  This pack is its static
+companion: it tracks handle-shaped locals (chunks, buffers, departing
+datagrams) through the states fresh → pinned → substituted → evicted
+across statements and — via call summaries — across function
+boundaries, and reports:
+
+* **use-after-evict** — a lifecycle method invoked on (or the handle
+  passed to a using function after) an evict transition;
+* **double-substitution** — one handle flowing through a substitution
+  point twice on one path;
+* **evicted-twice** — two evict transitions on the same handle;
+* **leak-on-early-return** — a path that pins a purely-local handle and
+  returns without unpinning it (the static shape of the sanitizer's
+  "still pinned at simulation end" leak).
+
+The analysis is a *must* analysis: facts survive a branch join only when
+both arms agree, so every report is a definite path, not a maybe.
+Handles that escape (stored into attributes/containers, passed to calls
+the tables do not describe, yielded or returned) drop out of leak
+checking — ownership transfer is legal and common.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from .. import vocabulary as vocab
+from ..diagnostics import Diagnostic
+from .dataflow import Env, FunctionInterp
+from .project import FunctionInfo, ModuleInfo, Project, dotted_name
+
+
+class TState(enum.Enum):
+    """Abstract lifecycle state of one tracked handle."""
+
+    PINNED = "pinned"
+    SUBSTITUTED = "substituted"
+    EVICTED = "evicted"
+
+
+@enum.unique
+class ParamEffect(enum.Enum):
+    """What a function does to one of its parameters (its summary)."""
+
+    EVICTS = "evicts"
+    USES = "uses"
+
+
+#: qual -> {param index -> effect}
+Summaries = Dict[str, Dict[int, ParamEffect]]
+
+
+class _Interp(FunctionInterp[TState]):
+    """Typestate interpreter for one function."""
+
+    def __init__(self, func: FunctionInfo, module: ModuleInfo,
+                 project: Project, summaries: Summaries,
+                 report: Optional[Callable[[ast.AST, str], None]]) -> None:
+        super().__init__(func.node)
+        self.info = func
+        self.module = module
+        self.project = project
+        self.summaries = summaries
+        self.report = report
+        #: vars pinned by this function's own ``x.pin()`` calls
+        self.pinned_here: Set[str] = set()
+        #: vars whose ownership left this function (no leak checking)
+        self.escaped: Set[str] = set()
+        #: effects this function applies to its own parameters
+        self.param_effects: Dict[int, ParamEffect] = {}
+        self._params = list(func.params)
+        self._reported: Set[Tuple[int, int, str]] = set()
+
+    # -- lattice (must-analysis) ------------------------------------------
+
+    def join(self, a: TState, b: TState) -> TState:
+        return a  # only called for equal values; see join_envs
+
+    def join_envs(self, a: Env[TState], b: Env[TState]) -> Env[TState]:
+        # Keep only facts both arms agree on: reports are definite paths.
+        return {k: v for k, v in a.items() if b.get(k) is v}
+
+    # -- reporting ---------------------------------------------------------
+
+    def _diag(self, node: ast.AST, message: str) -> None:
+        if self.report is None:
+            return
+        key = (getattr(node, "lineno", 1),
+               getattr(node, "col_offset", 0), message)
+        if key in self._reported:
+            return  # loop bodies are analyzed twice
+        self._reported.add(key)
+        self.report(node, message)
+
+    def _note_param_effect(self, name: str, effect: ParamEffect) -> None:
+        if name in self._params:
+            index = self._params.index(name)
+            # EVICTS dominates USES: callers care about the strongest.
+            if self.param_effects.get(index) is not ParamEffect.EVICTS:
+                self.param_effects[index] = effect
+
+    # -- transitions -------------------------------------------------------
+
+    def eval_call(self, node: ast.Call,
+                  env: Env[TState]) -> Optional[TState]:
+        raw = dotted_name(node.func)
+        for arg in node.args:
+            self.eval_expr(arg, env)
+        for kw in node.keywords:
+            self.eval_expr(kw.value, env)
+        if raw is None:
+            self._escape_args(node, env, consumed=())
+            return None
+        tail = raw.split(".")[-1]
+        receiver = raw.rsplit(".", 1)[0] if "." in raw else None
+        consumed: Tuple[str, ...] = ()
+
+        if receiver is not None and "." not in receiver:
+            state = env.get(receiver)
+            if tail in vocab.TYPESTATE_USE_METHODS:
+                self._note_param_effect(receiver, ParamEffect.USES)
+                if state is TState.EVICTED:
+                    self._diag(node, f"use-after-evict: .{tail}() on "
+                                     f"{receiver!r} after it was evicted "
+                                     f"on this path")
+            if tail in vocab.TYPESTATE_PIN_METHODS:
+                env[receiver] = TState.PINNED
+                self.pinned_here.add(receiver)
+            elif tail in vocab.TYPESTATE_UNPIN_METHODS:
+                if state is TState.PINNED:
+                    env.pop(receiver, None)
+                    self.pinned_here.discard(receiver)
+
+        if tail in vocab.TYPESTATE_EVICT_ARG_METHODS:
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    consumed += (arg.id,)
+                    self._note_param_effect(arg.id, ParamEffect.EVICTS)
+                    if env.get(arg.id) is TState.EVICTED:
+                        self._diag(node, f"{arg.id!r} evicted twice on "
+                                         f"this path (.{tail}())")
+                    env[arg.id] = TState.EVICTED
+        elif tail in vocab.TYPESTATE_SUBSTITUTE_ARG_METHODS \
+                or (tail.startswith("substitute")
+                    and tail != "substitute_miss") \
+                or tail == "_substitute":
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    consumed += (arg.id,)
+                    self._note_param_effect(arg.id, ParamEffect.USES)
+                    state = env.get(arg.id)
+                    if state is TState.SUBSTITUTED:
+                        self._diag(
+                            node,
+                            f"double substitution: {arg.id!r} already "
+                            f"flowed through a substitution point on "
+                            f"this path — each placeholder chain "
+                            f"resolves exactly once per reply")
+                    elif state is TState.EVICTED:
+                        self._diag(
+                            node,
+                            f"use-after-evict: {arg.id!r} substituted "
+                            f"after it was evicted on this path")
+                    env[arg.id] = TState.SUBSTITUTED
+        else:
+            consumed += self._apply_summary(node, raw, env)
+
+        self._escape_args(node, env, consumed)
+        return None
+
+    def _apply_summary(self, node: ast.Call, raw: str,
+                       env: Env[TState]) -> Tuple[str, ...]:
+        """Apply the callee's parameter-effect summary at this site."""
+        callee_qual = None
+        for site in self.info.calls:
+            if site.line == node.lineno \
+                    and site.col == node.col_offset + 1 and site.raw == raw:
+                callee_qual = site.callee
+                break
+        if callee_qual is None:
+            return ()
+        effects = self.summaries.get(callee_qual)
+        if not effects:
+            return ()
+        callee = self.project.functions[callee_qual]
+        offset = 0
+        if callee.class_name is not None and callee.params \
+                and callee.params[0] in ("self", "cls") and "." in raw:
+            offset = 1  # obj.m(a): a is the callee's second parameter
+        consumed: Tuple[str, ...] = ()
+        for i, arg in enumerate(node.args):
+            if not isinstance(arg, ast.Name):
+                continue
+            effect = effects.get(i + offset)
+            if effect is None:
+                continue
+            consumed += (arg.id,)
+            state = env.get(arg.id)
+            if effect is ParamEffect.EVICTS:
+                self._note_param_effect(arg.id, ParamEffect.EVICTS)
+                if state is TState.EVICTED:
+                    self._diag(node, f"{arg.id!r} evicted twice on this "
+                                     f"path ({raw}() evicts it)")
+                env[arg.id] = TState.EVICTED
+            elif effect is ParamEffect.USES:
+                self._note_param_effect(arg.id, ParamEffect.USES)
+                if state is TState.EVICTED:
+                    self._diag(
+                        node,
+                        f"use-after-evict: {arg.id!r} was evicted on "
+                        f"this path, then passed to {raw}() which uses "
+                        f"it")
+        return consumed
+
+    def _escape_args(self, node: ast.Call, env: Env[TState],
+                     consumed: Tuple[str, ...]) -> None:
+        """Handles passed to calls the tables don't describe escape."""
+        for arg in node.args:
+            if isinstance(arg, ast.Name) and arg.id not in consumed:
+                self.escaped.add(arg.id)
+        for kw in node.keywords:
+            if isinstance(kw.value, ast.Name):
+                self.escaped.add(kw.value.id)
+
+    # -- escapes through data structure / control flow ---------------------
+
+    def eval_expr_hook(self, node: ast.expr,
+                       env: Env[TState]) -> Optional[TState]:
+        if isinstance(node, (ast.Tuple, ast.List, ast.Dict, ast.Set)):
+            for child in ast.walk(node):
+                if isinstance(child, ast.Name):
+                    self.escaped.add(child.id)
+            return None
+        if isinstance(node, (ast.Yield, ast.YieldFrom)) \
+                and isinstance(node.value, ast.Name):
+            # Record the escape only; the base interpreter descends into
+            # the yielded value itself (evaluating it here too would run
+            # every call's transition twice).
+            self.escaped.add(node.value.id)
+        return None
+
+    def on_assign(self, stmt: ast.Assign, env: Env[TState]) -> None:
+        for target in stmt.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)) \
+                    and isinstance(stmt.value, ast.Name):
+                self.escaped.add(stmt.value.id)
+
+    # -- leak-on-early-return ----------------------------------------------
+
+    def on_return(self, node: ast.Return, value: Optional[TState],
+                  env: Env[TState]) -> None:
+        returned: Set[str] = set()
+        if node.value is not None:
+            for child in ast.walk(node.value):
+                if isinstance(child, ast.Name):
+                    returned.add(child.id)
+        self._check_leaks(node, env, returned)
+
+    def on_func_exit(self, env: Env[TState]) -> None:
+        self._check_leaks(self.func, env, set())
+
+    def _check_leaks(self, node: ast.AST, env: Env[TState],
+                     returned: Set[str]) -> None:
+        for name, state in sorted(env.items()):
+            if state is not TState.PINNED:
+                continue
+            if name not in self.pinned_here or name in self.escaped \
+                    or name in returned or name in self._params:
+                continue
+            self._diag(node,
+                       f"leak on early return: {name!r} is still pinned "
+                       f"on this path and never escapes — unpin it "
+                       f"before returning (the sanitizer would report "
+                       f"it as pinned-at-end)")
+
+
+def run(project: Project, add: Callable[[Diagnostic], None]) -> None:
+    """Run the pack: summary fixpoint, then one reporting pass."""
+    summaries: Summaries = {}
+    for _ in range(3):
+        changed = False
+        for func in project.functions.values():
+            module = project.function_module(func)
+            interp = _Interp(func, module, project, summaries, report=None)
+            interp.run()
+            if interp.param_effects and \
+                    summaries.get(func.qual) != interp.param_effects:
+                summaries[func.qual] = interp.param_effects
+                changed = True
+        if not changed:
+            break
+
+    for func in project.functions.values():
+        module = project.function_module(func)
+
+        def report(node: ast.AST, message: str,
+                   _module: ModuleInfo = module) -> None:
+            add(Diagnostic(rule="flow-typestate", path=_module.display,
+                           line=getattr(node, "lineno", 1),
+                           col=getattr(node, "col_offset", 0) + 1,
+                           message=message))
+
+        _Interp(func, module, project, summaries, report).run()

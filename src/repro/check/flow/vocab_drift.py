@@ -1,0 +1,146 @@
+"""``vocab-drift``: trace/metric name literals vs the declared sets.
+
+The ``trace-naming`` rule checks the *shape* of a name at each emit
+site; nothing checked that the set of names actually emitted matches
+the vocabulary the docs and analyses are written against.  This pack
+closes the loop in both directions:
+
+* **emit-without-declare** — a literal (or f-string prefix) passed to a
+  TraceBus emit / MetricsRegistry declaration that is not in
+  ``DECLARED_TRACE_EVENTS`` / ``DECLARED_METRICS`` and under none of the
+  ``DYNAMIC_NAME_PREFIXES`` families;
+* **declare-without-emit** — a declared name no ``repro.*`` module
+  emits any more (reported at its line in ``vocabulary.py``, so the
+  stale entry is one click away).
+
+Only ``repro.*`` modules contribute emit sites: tests mint throwaway
+names freely.  Metric *reads* (``registry.get(name)``) do not declare.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Set, Tuple
+
+from .. import vocabulary as vocab
+from ..diagnostics import Diagnostic
+from .project import ModuleInfo, Project
+
+#: Emit/declare sites: method name -> which declared set it belongs to.
+_TRACE_METHODS = vocab.TRACE_EMIT_METHODS
+_METRIC_METHODS = vocab.METRIC_DECL_METHODS
+
+
+def _discovered(project: Project) -> Tuple[
+        Dict[str, Tuple[ModuleInfo, ast.AST]],
+        Dict[str, Tuple[ModuleInfo, ast.AST]],
+        Set[str]]:
+    """Literal names (and f-string prefixes) at every emit site."""
+    events: Dict[str, Tuple[ModuleInfo, ast.AST]] = {}
+    metrics: Dict[str, Tuple[ModuleInfo, ast.AST]] = {}
+    prefixes: Set[str] = set()
+    for info in project.modules.values():
+        if not info.name.startswith("repro."):
+            continue
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in _TRACE_METHODS:
+                table = events
+            elif func.attr in _METRIC_METHODS:
+                table = metrics
+            else:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) \
+                    and isinstance(first.value, str):
+                name = first.value
+                if vocab.NAME_RE.match(name):
+                    table.setdefault(name, (info, node))
+            elif isinstance(first, ast.JoinedStr) and first.values:
+                head = first.values[0]
+                if isinstance(head, ast.Constant) \
+                        and isinstance(head.value, str) \
+                        and "." in head.value:
+                    prefixes.add(head.value)
+    return events, metrics, prefixes
+
+
+def _declared_line(name: str, vocab_module: ModuleInfo) -> int:
+    """Line of ``name``'s literal inside vocabulary.py (1 if missing)."""
+    needle = f'"{name}"'
+    for lineno, line in enumerate(vocab_module.source.splitlines(), 1):
+        if needle in line:
+            return lineno
+    return 1
+
+
+def _under_family(name: str) -> bool:
+    return any(name.startswith(prefix)
+               for prefix in vocab.DYNAMIC_NAME_PREFIXES)
+
+
+def run(project: Project, add: Callable[[Diagnostic], None]) -> None:
+    """Run the pack: cross-check emit sites against the declared sets."""
+    events, metrics, prefixes = _discovered(project)
+
+    for kind, table, declared in (
+            ("trace event", events, vocab.DECLARED_TRACE_EVENTS),
+            ("metric", metrics, vocab.DECLARED_METRICS)):
+        for name, (info, node) in sorted(table.items()):
+            if name in declared or _under_family(name):
+                continue
+            add(Diagnostic(
+                rule="vocab-drift", path=info.display,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=(f"emit-without-declare: {kind} {name!r} is not "
+                         f"in the declared vocabulary — add it to "
+                         f"repro.check.vocabulary or fix the name")))
+
+    # Dynamic f-string prefixes must sit under a declared family.
+    for prefix in sorted(prefixes):
+        if _under_family(prefix):
+            continue
+        # Attribute the finding to every module using the prefix would
+        # be noisy; the first discovered site is representative.
+        for info in project.modules.values():
+            if not info.name.startswith("repro."):
+                continue
+            for lineno, line in enumerate(info.source.splitlines(), 1):
+                if f'f"{prefix}' in line or f"f'{prefix}" in line:
+                    add(Diagnostic(
+                        rule="vocab-drift", path=info.display,
+                        line=lineno, col=1,
+                        message=(
+                            f"emit-without-declare: dynamic name prefix "
+                            f"{prefix!r} is under no declared family in "
+                            f"repro.check.vocabulary.DYNAMIC_NAME_PREFIXES"
+                        )))
+                    break
+            else:
+                continue
+            break
+
+    vocab_module = None
+    for info in project.modules.values():
+        if info.name == "repro.check.vocabulary":
+            vocab_module = info
+            break
+    if vocab_module is None:
+        return  # vocabulary not in the analyzed set: one direction only
+    for kind, table, declared in (
+            ("trace event", events, vocab.DECLARED_TRACE_EVENTS),
+            ("metric", metrics, vocab.DECLARED_METRICS)):
+        for name in sorted(declared):
+            if name in table:
+                continue
+            add(Diagnostic(
+                rule="vocab-drift", path=vocab_module.display,
+                line=_declared_line(name, vocab_module), col=1,
+                message=(f"declare-without-emit: {kind} {name!r} is "
+                         f"declared but no repro.* module emits it — "
+                         f"delete the stale entry")))

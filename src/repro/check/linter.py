@@ -12,9 +12,9 @@ import ast
 import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .diagnostics import Diagnostic, parse_suppressions
+from .diagnostics import Diagnostic, Suppressions, parse_suppressions
 from .rules import Rule, all_rules, make_context
 
 
@@ -62,8 +62,38 @@ def iter_python_files(paths: Sequence[Path]) -> List[Path]:
     return unique
 
 
-def lint_file(path: Path, rules: Optional[Sequence[Rule]] = None
-              ) -> List[Diagnostic]:
+def stale_ignore_diagnostics(display: str, suppressions: Suppressions,
+                             run_ids: Iterable[str],
+                             used: Iterable[Tuple[int, str]]
+                             ) -> List[Diagnostic]:
+    """``stale-ignore`` diagnostics for suppressions that silenced nothing.
+
+    Judged per rule id, and only for ids in ``run_ids`` (a suppression
+    for a rule that did not run this invocation cannot be proven stale).
+    ``*`` is never judged: it is a deliberate blanket.  ``used`` holds
+    the ``(line, rule)`` pairs that actually suppressed a diagnostic.
+    """
+    used_set = set(used)
+    ran = set(run_ids)
+    out: List[Diagnostic] = []
+    for line, ids in sorted(suppressions.by_line.items()):
+        for rule_id in sorted(ids):
+            if rule_id == "*" or rule_id not in ran:
+                continue
+            if (line, rule_id) in used_set:
+                continue
+            out.append(Diagnostic(
+                rule="stale-ignore", path=display, line=line, col=1,
+                message=(f"suppression 'check: ignore[{rule_id}]' no "
+                         f"longer matches any diagnostic on this line — "
+                         f"delete it (or rerun without --no-stale-ignores "
+                         f"after confirming)"),
+                suppressed=suppressions.covers("stale-ignore", line)))
+    return out
+
+
+def lint_file(path: Path, rules: Optional[Sequence[Rule]] = None,
+              stale_ignores: bool = True) -> List[Diagnostic]:
     """Run every rule over one file, marking suppressed diagnostics."""
     rules = list(rules) if rules is not None else all_rules()
     source = path.read_text(encoding="utf-8")
@@ -78,10 +108,16 @@ def lint_file(path: Path, rules: Optional[Sequence[Rule]] = None
     suppressions = parse_suppressions(source)
     ctx = make_context(posix, display, source, tree)
     diagnostics: List[Diagnostic] = []
+    used: List[Tuple[int, str]] = []
     for rule in rules:
         for diag in rule.check(ctx):
             diag.suppressed = suppressions.covers(diag.rule, diag.line)
+            if diag.suppressed:
+                used.append((diag.line, diag.rule))
             diagnostics.append(diag)
+    if stale_ignores:
+        diagnostics.extend(stale_ignore_diagnostics(
+            display, suppressions, (r.id for r in rules), used))
     diagnostics.sort(key=lambda d: (d.line, d.col, d.rule))
     return diagnostics
 
@@ -108,14 +144,20 @@ def changed_files(root: Path) -> Optional[List[Path]]:
 
 def lint_paths(paths: Iterable[Path],
                rules: Optional[Sequence[Rule]] = None,
-               only: Optional[Iterable[Path]] = None) -> LintResult:
+               only: Optional[Iterable[Path]] = None,
+               stale_ignores: bool = True) -> LintResult:
     """Lint every python file under ``paths``.
 
     ``only`` restricts the run to files in that set (the ``--changed``
     mode); directories in ``paths`` still define the lintable universe so
     changed files outside it (e.g. tests) are not linted by accident.
+    ``stale_ignores`` controls the unused-suppression check; it is
+    force-disabled when ``rules`` filters the run, since a partial run
+    cannot prove a suppression unused.
     """
     result = LintResult()
+    if rules is not None:
+        stale_ignores = False
     restrict = None
     if only is not None:
         restrict = {p.resolve() for p in only}
@@ -123,5 +165,6 @@ def lint_paths(paths: Iterable[Path],
         if restrict is not None and path.resolve() not in restrict:
             continue
         result.files_checked += 1
-        result.diagnostics.extend(lint_file(path, rules))
+        result.diagnostics.extend(
+            lint_file(path, rules, stale_ignores=stale_ignores))
     return result

@@ -1,0 +1,97 @@
+"""SARIF 2.1.0 serialization for ncache-lint reports.
+
+One static-analysis interchange document per run, consumable by GitHub
+code scanning (``github/codeql-action/upload-sarif``) and any SARIF
+viewer.  Suppressed diagnostics are carried as results with an
+``inSource`` suppression object — the standard way to say "the finding
+exists and an annotation in the source acknowledges it" — so dashboards
+show the same totals as the text report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from .diagnostics import Diagnostic
+
+#: The schema GitHub code scanning validates uploads against.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: Meta diagnostics the drivers can emit besides the registered rules:
+#: (id, summary).  Included in every tool descriptor so SARIF results
+#: always resolve their ruleId.
+META_RULE_DESCRIPTORS: Tuple[Tuple[str, str], ...] = (
+    ("syntax", "file must parse"),
+    ("stale-ignore",
+     "every suppression comment must still silence a diagnostic"),
+)
+
+
+def _rule_descriptor(rule_id: str, summary: str,
+                     invariant: str = "") -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "id": rule_id,
+        "shortDescription": {"text": summary},
+    }
+    if invariant:
+        out["fullDescription"] = {"text": invariant}
+    return out
+
+
+def _result(diag: Diagnostic) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "ruleId": diag.rule,
+        "level": "error",
+        "message": {"text": diag.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": diag.path.replace("\\", "/")},
+                "region": {"startLine": diag.line,
+                           "startColumn": max(diag.col, 1)},
+            },
+        }],
+    }
+    if diag.suppressed:
+        out["suppressions"] = [{"kind": "inSource"}]
+    return out
+
+
+def to_sarif(diagnostics: Iterable[Diagnostic],
+             rules: Sequence[Tuple[str, str, str]],
+             tool_name: str = "ncache-lint") -> Dict[str, Any]:
+    """Build the SARIF document.
+
+    ``rules`` is ``(id, summary, invariant)`` for every rule that ran;
+    the meta rules (``syntax``, ``stale-ignore``) are appended
+    automatically.
+    """
+    descriptors: List[Dict[str, Any]] = [
+        _rule_descriptor(rule_id, summary, invariant)
+        for rule_id, summary, invariant in rules]
+    known = {d["id"] for d in descriptors}
+    for rule_id, summary in META_RULE_DESCRIPTORS:
+        if rule_id not in known:
+            descriptors.append(_rule_descriptor(rule_id, summary))
+            known.add(rule_id)
+    results = [_result(d) for d in diagnostics]
+    # A result whose ruleId the descriptor table cannot resolve renders
+    # poorly in viewers; make the table total.
+    for result in results:
+        if result["ruleId"] not in known:
+            descriptors.append(_rule_descriptor(result["ruleId"], ""))
+            known.add(result["ruleId"])
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "rules": descriptors,
+                },
+            },
+            "results": results,
+        }],
+    }

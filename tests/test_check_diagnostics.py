@@ -1,0 +1,294 @@
+"""Diagnostics, suppression parsing, SARIF output, and CLI exit codes."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.check.cli import main as check_main
+from repro.check.diagnostics import (
+    Diagnostic,
+    Suppressions,
+    parse_suppressions,
+)
+from repro.check.sarif import to_sarif
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+class TestDiagnostic:
+    def test_format_plain(self):
+        diag = Diagnostic(rule="no-wallclock", path="a.py", line=3, col=7,
+                          message="don't")
+        assert diag.format() == "a.py:3:7: [no-wallclock] don't"
+
+    def test_format_suppressed(self):
+        diag = Diagnostic(rule="r", path="a.py", line=1, col=1,
+                          message="m", suppressed=True)
+        assert diag.format().endswith("(suppressed)")
+
+    def test_to_json_roundtrip(self):
+        diag = Diagnostic(rule="r", path="a.py", line=2, col=4,
+                          message="m")
+        data = diag.to_json()
+        assert data == {"rule": "r", "path": "a.py", "line": 2,
+                        "col": 4, "message": "m", "suppressed": False}
+        assert json.loads(json.dumps(data)) == data
+
+
+class TestParseSuppressions:
+    def test_single_rule(self):
+        sup = parse_suppressions("x = 1  # check: ignore[no-wallclock]\n")
+        assert sup.covers("no-wallclock", 1)
+        assert not sup.covers("no-wallclock", 2)
+        assert not sup.covers("copy-discipline", 1)
+
+    def test_multiple_rules_and_justification(self):
+        sup = parse_suppressions(
+            "y()  # check: ignore[rule-a, rule-b] -- because reasons\n")
+        assert sup.covers("rule-a", 1)
+        assert sup.covers("rule-b", 1)
+        assert not sup.covers("rule-c", 1)
+
+    def test_star_covers_everything(self):
+        sup = parse_suppressions("z()  # check: ignore[*]\n")
+        assert sup.covers("anything-at-all", 1)
+
+    def test_line_mapping(self):
+        sup = parse_suppressions(
+            "a = 1\nb = 2  # check: ignore[rule-x]\nc = 3\n")
+        assert not sup.covers("rule-x", 1)
+        assert sup.covers("rule-x", 2)
+        assert not sup.covers("rule-x", 3)
+
+    def test_unterminated_source_does_not_raise(self):
+        sup = parse_suppressions("x = (\n")
+        assert sup.by_line == {}
+
+    def test_empty_suppressions_object(self):
+        assert not Suppressions().covers("r", 1)
+
+
+class TestSarif:
+    def _diags(self):
+        return [
+            Diagnostic(rule="no-wallclock", path="src/a.py", line=3,
+                       col=7, message="clock"),
+            Diagnostic(rule="flow-typestate", path="tests/b.py", line=9,
+                       col=1, message="evicted", suppressed=True),
+        ]
+
+    def test_document_shape(self):
+        doc = to_sarif(self._diags(),
+                       [("no-wallclock", "no clocks", "sim time only"),
+                        ("flow-typestate", "lifecycle", "state machine")])
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "ncache-lint"
+        ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "no-wallclock" in ids and "flow-typestate" in ids
+        # Meta rules always present so every result resolves.
+        assert "syntax" in ids and "stale-ignore" in ids
+
+    def test_results_carry_locations(self):
+        doc = to_sarif(self._diags(), [])
+        result = doc["runs"][0]["results"][0]
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/a.py"
+        assert loc["region"] == {"startLine": 3, "startColumn": 7}
+
+    def test_suppressed_results_marked_in_source(self):
+        doc = to_sarif(self._diags(), [])
+        results = doc["runs"][0]["results"]
+        assert "suppressions" not in results[0]
+        assert results[1]["suppressions"] == [{"kind": "inSource"}]
+
+    def test_unknown_rule_ids_get_descriptors(self):
+        doc = to_sarif([Diagnostic(rule="made-up", path="x.py", line=1,
+                                   col=1, message="m")], [])
+        ids = [r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]]
+        assert "made-up" in ids
+
+    def test_document_is_json_serializable(self):
+        json.dumps(to_sarif(self._diags(), []))
+
+
+def write(tmp_path, name, source):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+class TestCliExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = write(tmp_path, "ok.py", "x = 1\n")
+        assert check_main([str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", """
+            import random
+            x = random.random()
+        """)
+        assert check_main([str(path)]) == 1
+        assert "no-global-random" in capsys.readouterr().out
+
+    def test_syntax_error_exits_one(self, tmp_path, capsys):
+        path = write(tmp_path, "syn.py", "def broken(:\n")
+        assert check_main([str(path)]) == 1
+        assert "[syntax]" in capsys.readouterr().out
+
+    def test_bad_path_exits_two(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as err:
+            check_main([str(tmp_path / "missing")])
+        assert err.value.code == 2
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        path = write(tmp_path, "ok.py", "x = 1\n")
+        with pytest.raises(SystemExit) as err:
+            check_main(["--rules", "nonsense", str(path)])
+        assert err.value.code == 2
+
+    def test_flow_rule_without_flow_flag_exits_two(self, tmp_path):
+        path = write(tmp_path, "ok.py", "x = 1\n")
+        with pytest.raises(SystemExit) as err:
+            check_main(["--rules", "flow-engine", str(path)])
+        assert err.value.code == 2
+
+    def test_flow_only_option_without_flow_exits_two(self, tmp_path):
+        path = write(tmp_path, "ok.py", "x = 1\n")
+        with pytest.raises(SystemExit) as err:
+            check_main(["--call-graph-out", str(tmp_path / "g.json"),
+                        str(path)])
+        assert err.value.code == 2
+
+    def test_json_report_shape(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", """
+            import random
+            x = random.random()
+        """)
+        assert check_main(["--json", str(path)]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        assert data["files_checked"] == 1
+        assert any(d["rule"] == "no-global-random"
+                   for d in data["diagnostics"])
+
+    def test_format_json_equals_json_flag(self, tmp_path, capsys):
+        path = write(tmp_path, "ok.py", "x = 1\n")
+        assert check_main(["--format", "json", str(path)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+
+    def test_sarif_format(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", """
+            import random
+            x = random.random()
+        """)
+        assert check_main(["--format", "sarif", str(path)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"]
+
+    def test_list_rules_includes_flow_rules(self, capsys):
+        assert check_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "no-wallclock" in out
+        assert "flow-determinism" in out and "(--flow)" in out
+
+    def test_changed_without_git_warns_and_lints(self, tmp_path, capsys,
+                                                 monkeypatch):
+        path = write(tmp_path, "ok.py", "x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "nogit"))
+        assert check_main(["--changed", str(path)]) == 0
+        assert "git unavailable" in capsys.readouterr().err
+
+    def test_changed_with_no_modified_files(self, tmp_path, capsys,
+                                            monkeypatch):
+        import subprocess
+        path = write(tmp_path, "ok.py", "x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        subprocess.run(["git", "add", "-A"], cwd=tmp_path, check=True)
+        subprocess.run(["git", "-c", "user.email=t@t", "-c",
+                        "user.name=t", "commit", "-qm", "x"],
+                       cwd=tmp_path, check=True)
+        assert check_main(["--changed", str(path)]) == 0
+        assert "no changed python files" in capsys.readouterr().out
+
+
+class TestCliStaleIgnores:
+    def test_stale_suppression_fails_the_run(self, tmp_path, capsys):
+        path = write(tmp_path, "mod.py",
+                     "x = 1  # check: ignore[no-wallclock] -- stale\n")
+        assert check_main([str(path)]) == 1
+        assert "stale-ignore" in capsys.readouterr().out
+
+    def test_no_stale_ignores_escape_hatch(self, tmp_path):
+        path = write(tmp_path, "mod.py",
+                     "x = 1  # check: ignore[no-wallclock] -- stale\n")
+        assert check_main(["--no-stale-ignores", str(path)]) == 0
+
+    def test_used_suppression_is_not_stale(self, tmp_path):
+        path = write(tmp_path, "mod.py", """
+            import random  # check: ignore[no-global-random] -- fixture
+            x = random.random()  # check: ignore[no-global-random] -- fixture
+        """)
+        assert check_main([str(path)]) == 0
+
+    def test_star_is_never_stale(self, tmp_path):
+        path = write(tmp_path, "mod.py",
+                     "x = 1  # check: ignore[*] -- blanket\n")
+        assert check_main([str(path)]) == 0
+
+    def test_rules_filter_disables_stale_check(self, tmp_path):
+        path = write(tmp_path, "mod.py",
+                     "x = 1  # check: ignore[no-wallclock] -- stale\n")
+        assert check_main(["--rules", "no-wallclock", str(path)]) == 0
+
+
+class TestCliFlowMode:
+    def test_flow_clean_tree_exits_zero(self, tmp_path, capsys):
+        path = write(tmp_path, "src/repro/ok.py", """
+            def helper(engine, items):
+                for item in sorted(items):
+                    engine.schedule(item)
+        """)
+        assert check_main(["--flow", str(path)]) == 0
+        assert "flow-determinism" in capsys.readouterr().out
+
+    def test_flow_violation_exits_one(self, tmp_path, capsys):
+        path = write(tmp_path, "src/repro/bad.py", """
+            def feed(engine, items):
+                for item in set(items):
+                    engine.schedule(item)
+        """)
+        assert check_main(["--flow", str(path)]) == 1
+        assert "flow-determinism" in capsys.readouterr().out
+
+    def test_flow_call_graph_out(self, tmp_path, capsys):
+        path = write(tmp_path, "src/repro/ok.py", "def f():\n    return 1\n")
+        graph = tmp_path / "graph.json"
+        assert check_main(["--flow", "--call-graph-out", str(graph),
+                           str(path)]) == 0
+        data = json.loads(graph.read_text())
+        assert "repro.ok.f" in data["functions"]
+        # Second run hits the digest-keyed cache and still succeeds.
+        capsys.readouterr()
+        assert check_main(["--flow", "--call-graph-cache", str(graph),
+                           str(path)]) == 0
+
+    def test_flow_sarif_output(self, tmp_path, capsys):
+        path = write(tmp_path, "src/repro/bad.py", """
+            def feed(engine, items):
+                for item in set(items):
+                    engine.schedule(item)
+        """)
+        assert check_main(["--flow", "--format", "sarif", str(path)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        ids = [r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]]
+        assert "flow-determinism" in ids

@@ -1,0 +1,482 @@
+"""repro.check.flow: the seeded-bug battery.
+
+Each rule pack must fire on a deliberately planted bug and stay quiet on
+the corrected version; the real tree must analyze clean; and the whole
+analysis must stay fast enough to live in CI and the pre-commit hook.
+"""
+
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.check.flow import (
+    DEFAULT_DEPTH,
+    FLOW_RULES,
+    all_flow_rules,
+    analyze_paths,
+    save_call_graph,
+)
+from repro.check.flow.project import Project, module_name_for
+from repro.check.linter import iter_python_files
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+TESTS = REPO_ROOT / "tests"
+
+
+def analyze_source(tmp_path, sources, **kwargs):
+    """Write ``{relpath: source}`` under a fake src/ root and analyze."""
+    files = []
+    for rel, text in sources.items():
+        path = tmp_path / "src" / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+        files.append(path)
+    return analyze_paths(files, **kwargs)
+
+
+def active(result, rule=None):
+    out = [d for d in result.diagnostics if not d.suppressed]
+    if rule is not None:
+        out = [d for d in out if d.rule == rule]
+    return out
+
+
+class TestProjectModel:
+    def test_module_names_anchor_at_src(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "sim" / "engine.py"
+        assert module_name_for(path) == "repro.sim.engine"
+
+    def test_call_graph_resolves_local_helpers(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def helper():
+                return 1
+
+            def caller():
+                return helper()
+        """})
+        caller = result.project.functions["repro.mod.caller"]
+        assert [c.callee for c in caller.calls] == ["repro.mod.helper"]
+
+    def test_self_calls_resolve_to_own_class(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            class Thing:
+                def a(self):
+                    return self.b()
+
+                def b(self):
+                    return 2
+        """})
+        a = result.project.functions["repro.mod.Thing.a"]
+        assert [c.callee for c in a.calls] == ["repro.mod.Thing.b"]
+
+    def test_cross_module_imports_resolve(self, tmp_path):
+        result = analyze_source(tmp_path, {
+            "util.py": """
+                def compute():
+                    return 1
+            """,
+            "mod.py": """
+                from repro.util import compute
+
+                def caller():
+                    return compute()
+            """})
+        caller = result.project.functions["repro.mod.caller"]
+        assert [c.callee for c in caller.calls] == ["repro.util.compute"]
+
+    def test_syntax_error_file_reports_and_does_not_crash(self, tmp_path):
+        result = analyze_source(tmp_path, {"bad.py": """
+            def broken(:
+        """})
+        assert [d.rule for d in result.diagnostics] == ["syntax"]
+
+    def test_call_graph_cache_roundtrip(self, tmp_path):
+        sources = {"mod.py": """
+            def helper():
+                return 1
+
+            def caller():
+                return helper()
+        """}
+        first = analyze_source(tmp_path, sources)
+        cache = tmp_path / "graph.json"
+        save_call_graph(first.project, cache)
+        files = iter_python_files([tmp_path / "src"])
+        again = analyze_paths(files, cache_path=cache)
+        caller = again.project.functions["repro.mod.caller"]
+        assert [c.callee for c in caller.calls] == ["repro.mod.helper"]
+
+    def test_stale_cache_is_ignored(self, tmp_path):
+        sources = {"mod.py": """
+            def helper():
+                return 1
+
+            def caller():
+                return helper()
+        """}
+        first = analyze_source(tmp_path, sources)
+        cache = tmp_path / "graph.json"
+        save_call_graph(first.project, cache)
+        mod = tmp_path / "src" / "repro" / "mod.py"
+        mod.write_text(mod.read_text() + "\n\nEXTRA = 1\n")
+        again = analyze_paths(iter_python_files([tmp_path / "src"]),
+                              cache_path=cache)
+        caller = again.project.functions["repro.mod.caller"]
+        assert [c.callee for c in caller.calls] == ["repro.mod.helper"]
+
+
+class TestDeterminismPack:
+    def test_set_iteration_feeding_engine_sink_fires(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def feed(engine, items):
+                pending = set(items)
+                for item in pending:
+                    engine.schedule(item)
+        """})
+        found = active(result, "flow-determinism")
+        assert found and "unordered" in found[0].message
+
+    def test_sorted_iteration_is_clean(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def feed(engine, items):
+                pending = set(items)
+                for item in sorted(pending):
+                    engine.schedule(item)
+        """})
+        assert active(result, "flow-determinism") == []
+
+    def test_unordered_value_returned_across_functions(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def pending_keys(table):
+                return set(table)
+
+            def drain(engine, table):
+                for key in pending_keys(table):
+                    engine.schedule(key)
+        """})
+        assert active(result, "flow-determinism")
+
+    def test_listdir_into_trace_emit_fires(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            import os
+
+            def record(bus, root):
+                names = os.listdir(root)
+                bus.emit("fs.scan", files=names)
+        """})
+        found = active(result, "flow-determinism")
+        assert found and "PYTHONHASHSEED" in found[0].message
+
+    def test_address_keyed_sort_fires(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def order(chunks):
+                return sorted(chunks, key=id)
+        """})
+        found = active(result, "flow-determinism")
+        assert found and "address" in found[0].message
+
+    def test_yield_inside_unordered_loop_fires(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def process(waiters):
+                for waiter in set(waiters):
+                    yield waiter
+        """})
+        found = active(result, "flow-determinism")
+        assert found and "yield" in found[0].message
+
+    def test_list_keeps_the_unordered_bit(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def feed(engine, items):
+                pending = list(set(items))
+                for item in pending:
+                    engine.schedule(item)
+        """})
+        assert active(result, "flow-determinism")
+
+
+class TestTypestatePack:
+    def test_use_after_evict_across_two_functions(self, tmp_path):
+        # The acceptance scenario: eviction happens in a helper; the
+        # caller keeps using the handle.  Only the interprocedural
+        # summary can see it.
+        result = analyze_source(tmp_path, {"mod.py": """
+            def reclaim(store, chunk):
+                store.drop(chunk)
+
+            def serve(store, chunk):
+                reclaim(store, chunk)
+                chunk.pin()
+        """})
+        found = active(result, "flow-typestate")
+        assert found and "use-after-evict" in found[0].message
+
+    def test_use_before_evict_is_clean(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def reclaim(store, chunk):
+                store.drop(chunk)
+
+            def serve(store, chunk):
+                chunk.pin()
+                chunk.unpin()
+                reclaim(store, chunk)
+        """})
+        assert active(result, "flow-typestate") == []
+
+    def test_double_substitution_fires(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def reply(san, dgram):
+                san.reply_substituted(dgram)
+                san.reply_substituted(dgram)
+        """})
+        found = active(result, "flow-typestate")
+        assert found and "double substitution" in found[0].message
+
+    def test_evicted_twice_fires(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def purge(store, chunk):
+                store.drop(chunk)
+                store.drop(chunk)
+        """})
+        found = active(result, "flow-typestate")
+        assert found and "evicted twice" in found[0].message
+
+    def test_leak_on_early_return_fires(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def peek(store, key):
+                chunk = store.resolve(key)
+                chunk.pin()
+                if key is None:
+                    return None
+                chunk.unpin()
+                return chunk
+        """})
+        found = active(result, "flow-typestate")
+        assert found and "leak" in found[0].message
+
+    def test_balanced_pin_unpin_is_clean(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def peek(store, key):
+                chunk = store.resolve(key)
+                chunk.pin()
+                size = chunk.footprint()
+                chunk.unpin()
+                return size
+        """})
+        assert active(result, "flow-typestate") == []
+
+    def test_branch_join_is_must_not_may(self, tmp_path):
+        # Only one arm evicts: using the handle afterwards is not a
+        # *definite* use-after-evict, so the must-analysis stays quiet.
+        result = analyze_source(tmp_path, {"mod.py": """
+            def maybe(store, chunk, cold):
+                if cold:
+                    store.drop(chunk)
+                else:
+                    chunk.bump_generation()
+        """})
+        assert active(result, "flow-typestate") == []
+
+    def test_escaped_handle_is_not_a_leak(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def stash(registry, store, key):
+                chunk = store.resolve(key)
+                chunk.pin()
+                registry.remember(chunk)
+        """})
+        assert active(result, "flow-typestate") == []
+
+    def test_loop_variable_rebinding_no_false_positive(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def purge_all(store, chunks):
+                for c in chunks:
+                    store.drop(c)
+        """})
+        assert active(result, "flow-typestate") == []
+
+
+class TestEnginePack:
+    def test_wallclock_two_frames_below_handler_fires(self, tmp_path):
+        # The acceptance scenario: the generator calls a helper that
+        # calls another helper that reads the wall clock.
+        result = analyze_source(tmp_path, {"mod.py": """
+            import time
+
+            def stamp():
+                return time.time()
+
+            def flush(log):
+                log.append(stamp())
+
+            def handler(log):
+                yield 1
+                flush(log)
+        """})
+        found = active(result, "flow-engine")
+        assert found and "time.time" in found[0].message
+        assert "depth 2" in found[0].message
+        # Anchored at the flush(log) call site inside the generator.
+        assert found[0].line == 12
+
+    def test_depth_limit_cuts_the_walk(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            import time
+
+            def stamp():
+                return time.time()
+
+            def flush(log):
+                log.append(stamp())
+
+            def handler(log):
+                yield 1
+                flush(log)
+        """}, depth=1)
+        assert active(result, "flow-engine") == []
+
+    def test_blocking_call_reachable_fires(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            import time
+
+            def nap():
+                time.sleep(1)
+
+            def handler():
+                yield 1
+                nap()
+        """})
+        found = active(result, "flow-engine")
+        assert found and "time.sleep" in found[0].message
+
+    def test_global_random_reachable_fires(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            import random
+
+            def jitter():
+                return random.random()
+
+            def handler(engine):
+                yield 1
+                engine.wait(jitter())
+        """})
+        found = active(result, "flow-engine")
+        assert found and "global-random" in found[0].message
+
+    def test_pure_helpers_are_clean(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def cost(n):
+                return n * 2
+
+            def handler(engine):
+                yield 1
+                engine.wait(cost(3))
+        """})
+        assert active(result, "flow-engine") == []
+
+
+class TestVocabDriftPack:
+    def test_emit_without_declare_fires(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def report(bus):
+                bus.emit("bogus.event_nobody_declared", n=1)
+        """})
+        found = active(result, "vocab-drift")
+        assert found and "emit-without-declare" in found[0].message
+
+    def test_declared_event_is_clean(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def report(bus):
+                bus.emit("ncache.evict", n=1)
+        """})
+        assert active(result, "vocab-drift") == []
+
+    def test_dynamic_family_prefix_is_clean(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def declare(registry, name):
+                return registry.counter(f"cache.{name}.hit")
+        """})
+        assert active(result, "vocab-drift") == []
+
+    def test_declare_without_emit_fires(self):
+        # Analyzing vocabulary.py alone gives a project with declared
+        # names and zero emit sites: every name is reported stale, at
+        # its own line in vocabulary.py.
+        vocab_py = SRC / "repro" / "check" / "vocabulary.py"
+        result = analyze_paths([vocab_py], rules=["vocab-drift"])
+        found = active(result, "vocab-drift")
+        assert found
+        assert all("declare-without-emit" in d.message for d in found)
+        assert all(d.path.endswith("vocabulary.py") for d in found)
+
+
+class TestSuppressionsAndRegistry:
+    def test_flow_suppression_comment_is_honored(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def feed(engine, items):
+                for item in set(items):
+                    engine.schedule(item)  # check: ignore[flow-determinism] -- test fixture
+        """})
+        assert active(result, "flow-determinism") == []
+        assert any(d.suppressed for d in result.diagnostics)
+
+    def test_stale_flow_suppression_reported(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def feed(engine, items):
+                for item in sorted(items):
+                    engine.schedule(item)  # check: ignore[flow-determinism] -- nothing here
+        """})
+        found = active(result, "stale-ignore")
+        assert found and "flow-determinism" in found[0].message
+
+    def test_stale_check_skipped_for_filtered_runs(self, tmp_path):
+        result = analyze_source(tmp_path, {"mod.py": """
+            def feed(engine, items):
+                for item in sorted(items):
+                    engine.schedule(item)  # check: ignore[flow-determinism] -- nothing here
+        """}, rules=["flow-engine"])
+        assert active(result, "stale-ignore") == []
+
+    def test_registry_is_pinned(self):
+        assert [rule.id for rule in all_flow_rules()] == [
+            "flow-determinism", "flow-typestate", "flow-engine",
+            "vocab-drift"]
+        for rule in FLOW_RULES:
+            assert rule.summary and rule.invariant
+
+    def test_default_depth(self):
+        assert DEFAULT_DEPTH == 10
+
+
+class TestRealTree:
+    def test_full_tree_is_clean(self):
+        files = iter_python_files([SRC, TESTS])
+        result = analyze_paths(files)
+        assert result.active == [], "\n".join(
+            d.format() for d in result.active)
+
+    def test_suppressions_in_tree_are_all_used(self):
+        # Every flow suppression in the tree still silences something —
+        # the stale-ignore meta check (enabled by default above) would
+        # otherwise have failed test_full_tree_is_clean.
+        files = iter_python_files([SRC, TESTS])
+        result = analyze_paths(files)
+        assert any(d.suppressed for d in result.diagnostics)
+
+    def test_analyzer_wall_clock_budget(self):
+        # Acceptance criterion: the whole-tree analysis stays under 10s
+        # so CI and pre-commit can afford it.
+        files = iter_python_files([SRC, TESTS])
+        t0 = time.perf_counter()
+        analyze_paths(files)
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 10.0, f"flow analysis took {elapsed:.1f}s"
+
+    def test_project_builds_every_module(self):
+        files = iter_python_files([SRC, TESTS])
+        project = Project.build(files)
+        assert len(project.modules) == len(files)
+        assert project.functions
+        engine = [q for q in project.functions if "sim.engine" in q]
+        assert engine, "the simulator module must be in the graph"
