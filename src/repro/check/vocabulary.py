@@ -202,6 +202,7 @@ DECLARED_TRACE_EVENTS: FrozenSet[str] = frozenset({
     "buffer.extent_slice",
     "buffer.materialize",
     "engine.dispatch",
+    "fleet.churn",
     "fleet.peer_hit",
     "fleet.peer_serve",
     "http.get",
@@ -225,15 +226,21 @@ DECLARED_METRICS: FrozenSet[str] = frozenset({
     "bcache.writeback",
     "copies.elided",
     "copy.bytes",
+    "fleet.drain_pushed",
+    "fleet.failover_reroute",
     "fleet.imbalance",
+    "fleet.inflight_retry",
     "fleet.peer_bytes",
     "fleet.peer_hit",
     "fleet.peer_miss",
     "fleet.peer_probe",
+    "fleet.peer_push",
     "fleet.peer_served_hit",
     "fleet.peer_served_miss",
     "fleet.peer_timeout",
+    "fleet.rebalance_moved_keys",
     "fleet.served",
+    "fleet.warmup_ops",
     "http.get.latency",
     "ncache.cached_data_in",
     "ncache.cached_write",

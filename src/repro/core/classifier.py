@@ -23,7 +23,7 @@ from ..http.messages import HttpResponse, find_body_offset
 from ..iscsi.pdu import DataIn, ScsiCommand
 from ..net.network import Datagram
 from ..nfs.protocol import NfsCall, NfsProc, NfsReply
-from ..rpc.peer import PeerFetchReply
+from ..rpc.peer import PeerFetchReply, PeerPushCall
 
 
 class RxAction(enum.Enum):
@@ -66,6 +66,9 @@ class PacketClassifier:
             # A peer cache hit is a Data-In in disguise: chunk its
             # payload into the local LBN cache (cooperative caching).
             return RxAction.CACHE_DATA_IN
+        if isinstance(message, PeerPushCall):
+            # A drained chunk from a leaving peer lands the same way.
+            return RxAction.CACHE_DATA_IN
         return RxAction.PASS
 
     def classify_tx(self, dgram: Datagram) -> TxDecision:
@@ -86,6 +89,9 @@ class PacketClassifier:
         if isinstance(message, PeerFetchReply) and message.hit:
             # Serving a peer probe: swap the keyed placeholders for the
             # cached buffers, zero-copy out of this node's NCache.
+            return TxDecision(TxAction.SUBSTITUTE, message.header_size)
+        if isinstance(message, PeerPushCall):
+            # Draining on leave: same zero-copy substitution outward.
             return TxDecision(TxAction.SUBSTITUTE, message.header_size)
         return TxDecision(TxAction.PASS)
 

@@ -28,7 +28,7 @@ import sys
 from pathlib import Path
 
 from . import (ablations, figure4, figure5, figure6, figure7,
-               fleet_scaling, policy_ablation, table1, table2)
+               fleet_churn, fleet_scaling, policy_ablation, table1, table2)
 from .parallel import n_trace_events, write_merged_chrome, write_merged_jsonl
 
 RUNNERS = {
@@ -46,6 +46,8 @@ RUNNERS = {
         [figure7.run(quick, workers, sink, stats)],
     "fleet_scaling": lambda quick, workers, sink, stats:
         [fleet_scaling.run(quick, workers, sink, stats)],
+    "fleet_churn": lambda quick, workers, sink, stats:
+        [fleet_churn.run(quick, workers, sink, stats)],
     "ablations": ablations.run,
     "policy_ablation": lambda quick, workers, sink, stats:
         [policy_ablation.run(quick, workers, sink, stats)],

@@ -7,12 +7,14 @@ testbed per node, peer cache wiring), and :class:`Fleet` is the wired
 result the workloads and experiments drive.
 """
 
-from ..servers.spec import ClusterSpec
+from ..servers.spec import ChurnEvent, ChurnSchedule, ClusterSpec
 from .builder import Fleet, FleetBuilder, FleetNode
 from .hashring import HashRing
 from .peer import PeerCacheClient, PeerCacheService
 
 __all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
     "ClusterSpec",
     "Fleet",
     "FleetBuilder",

@@ -7,6 +7,13 @@ clockwise from its own hash.  ``owners(key, n)`` keeps walking to the
 next *distinct* nodes, which is how a replicated block group names its
 ``n`` owner servers.  Adding or removing one node moves only ~1/N of
 the keyspace, the property the fleet's cache placement relies on.
+
+Membership is mutable: :meth:`add_node` / :meth:`remove_node` insert or
+withdraw one node's points in place.  A node's points depend only on
+``(seed, node, vnodes)``, so any add/remove sequence lands on exactly
+the ring a fresh construction over the same member set would build —
+removing a node and adding it back restores the prior assignment
+bit-for-bit (the rejoin property the churn tests lock down).
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ def _hash64(label: str) -> int:
 
 
 class HashRing:
-    """Maps hashable keys to one or more of a fixed set of nodes."""
+    """Maps hashable keys to one or more of a mutable set of nodes."""
 
     def __init__(self, nodes: Sequence[int], vnodes: int = 64,
                  seed: int = 0) -> None:
@@ -35,11 +42,40 @@ class HashRing:
         self.seed = seed
         points: List[Tuple[int, int]] = []
         for node in self.nodes:
-            for v in range(vnodes):
-                points.append((_hash64(f"{seed}/n{node}/v{v}"), node))
+            points.extend(self._points_for(node))
         points.sort()
-        self._hashes = [h for h, _ in points]
-        self._owners = [n for _, n in points]
+        self._points = points
+        self._reindex()
+
+    def _points_for(self, node: int) -> List[Tuple[int, int]]:
+        return [(_hash64(f"{self.seed}/n{node}/v{v}"), node)
+                for v in range(self.vnodes)]
+
+    def _reindex(self) -> None:
+        self._hashes = [h for h, _ in self._points]
+        self._owners = [n for _, n in self._points]
+
+    # -- membership ----------------------------------------------------------
+
+    def add_node(self, node: int) -> None:
+        """Insert ``node``'s points; identical to a fresh construction
+        over the resulting member set."""
+        if node in self.nodes:
+            raise ValueError(f"node {node} already on the ring")
+        self.nodes.append(node)
+        for point in self._points_for(node):
+            bisect.insort(self._points, point)
+        self._reindex()
+
+    def remove_node(self, node: int) -> None:
+        """Withdraw ``node``'s points from the ring."""
+        if node not in self.nodes:
+            raise ValueError(f"node {node} not on the ring")
+        if len(self.nodes) == 1:
+            raise ValueError("cannot remove the last node")
+        self.nodes.remove(node)
+        self._points = [p for p in self._points if p[1] != node]
+        self._reindex()
 
     def owners(self, key: object, count: int = 1) -> List[int]:
         """The first ``count`` distinct nodes clockwise from ``key``."""

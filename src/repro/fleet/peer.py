@@ -21,7 +21,8 @@ from ..net.addresses import Endpoint, PEER_CLIENT_PORT, PEER_PORT
 from ..net.buffer import BytesPayload, JunkPayload, Payload, concat
 from ..net.network import Datagram
 from ..rpc.messages import XidMatcher
-from ..rpc.peer import PeerFetchCall, PeerFetchReply
+from ..rpc.peer import (PeerFetchCall, PeerFetchReply, PeerPushCall,
+                        PeerPushReply)
 from ..sim.engine import AnyOf, Event, SimulationError
 
 #: ``fn(lbn) -> peer endpoints to probe``, owner order, self excluded.
@@ -42,6 +43,9 @@ class PeerCacheService:
 
     def _handle(self, dgram: Datagram) -> Generator[Event, Any, None]:
         call = dgram.message
+        if isinstance(call, PeerPushCall):
+            yield from self._handle_push(dgram, call)
+            return
         if not isinstance(call, PeerFetchCall):
             raise SimulationError(f"peer service got {call!r}")
         host = self.host
@@ -80,6 +84,25 @@ class PeerCacheService:
             header=JunkPayload(reply.header_size),
             discipline=self.discipline, is_metadata=is_metadata)
 
+    def _handle_push(self, dgram: Datagram, call: PeerPushCall
+                     ) -> Generator[Event, Any, None]:
+        """Acknowledge a drained chunk from a leaving peer.
+
+        The RX hook already classified the push as cacheable data and
+        chunked its payload into this node's LBN cache; the service's
+        only job is the management charge and the ack.
+        """
+        host = self.host
+        host.counters.add("fleet.peer_push", call.nblocks)
+        yield from host.acct.compute(
+            call.nblocks * host.costs.ncache_mgmt_ns, "fleet.peer_push")
+        reply = PeerPushReply(call.xid)
+        yield from host.stack.udp_send(
+            src_ip=dgram.dst.ip, src_port=PEER_PORT, dst=dgram.src,
+            message=reply, data=BytesPayload(b""),
+            header=JunkPayload(reply.header_size),
+            discipline=self.discipline, is_metadata=True)
+
 
 class PeerCacheClient:
     """Probes the other owners of a block group on a local miss."""
@@ -91,6 +114,7 @@ class PeerCacheClient:
         self.host = testbed.server_host
         self.local_ip = testbed.server_ips[0]
         self.lun = testbed.ncache.lun
+        self.discipline = testbed.config.mode.discipline
         self.peers_for = peers_for
         self.rto_s = rto_s
         self.matcher = XidMatcher(self.host.sim)
@@ -98,7 +122,7 @@ class PeerCacheClient:
 
     def _on_reply(self, dgram: Datagram) -> Generator[Event, Any, None]:
         reply = dgram.message
-        if not isinstance(reply, PeerFetchReply):
+        if not isinstance(reply, (PeerFetchReply, PeerPushReply)):
             raise SimulationError(f"peer client got {reply!r}")
         if self.matcher.is_pending(reply.xid):
             self.matcher.resolve(reply.xid, dgram)
@@ -152,6 +176,33 @@ class PeerCacheClient:
                                 tid=host.sim.trace.tid_for(host.name),
                                 lbn=lbn, nblocks=nblocks, peer=str(peer))
         return payload
+
+    def push(self, peer: Endpoint, lbn: int, nblocks: int, data: Payload
+             ) -> Generator[Event, Any, bool]:
+        """Hand cached blocks to ``peer`` (graceful-leave drain).
+
+        ``data`` is keyed placeholders over this node's resident chunks;
+        the TX hook substitutes the real buffers on the way out.  Waits
+        for the ack so the caller knows the chunk landed before it
+        detaches; a timeout counts against ``fleet.peer_timeout`` and
+        the chunk is simply lost to the fleet (it is clean).
+        """
+        host = self.host
+        xid = self.matcher.new_xid()
+        call = PeerPushCall(xid, self.lun, lbn, nblocks)
+        waiter = self.matcher.expect(xid)
+        yield from host.stack.udp_send(
+            src_ip=self.local_ip, src_port=PEER_CLIENT_PORT, dst=peer,
+            message=call, data=data,
+            header=JunkPayload(call.header_size),
+            discipline=self.discipline, is_metadata=False)
+        timeout = host.sim.timeout(self.rto_s)
+        which, _value = yield AnyOf(host.sim, [waiter, timeout])
+        if which != 0:
+            self.matcher.cancel(xid)
+            host.counters.add("fleet.peer_timeout")
+            return False
+        return True
 
 
 def cooperative_interceptor(module: Any, client: PeerCacheClient

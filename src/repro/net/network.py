@@ -92,6 +92,13 @@ class Network:
         self._loss_rate = 0.0
         self._loss_rng = None
         self.dropped = 0
+        #: IPs administratively dark (fleet crash/leave fail-stop model):
+        #: UDP datagrams from or to a down IP vanish at the switch.  TCP
+        #: legs (the iSCSI session) stay connected, mirroring the loss
+        #: model above — a "crashed" application server goes silent to
+        #: its clients and peers while its in-flight backend I/O drains.
+        self._down_ips: set = set()
+        self.fail_stop_drops = 0
 
     def set_loss(self, rate: float, seed: int = 0) -> None:
         """Drop ``rate`` of UDP datagrams, deterministically per seed."""
@@ -101,6 +108,17 @@ class Network:
 
         self._loss_rate = rate
         self._loss_rng = substream(seed, "loss") if rate > 0 else None
+
+    def set_port_down(self, ip: str, down: bool = True) -> None:
+        """Mark ``ip`` dark (or bring it back); unknown IPs are fine —
+        the port may attach later (a joining node)."""
+        if down:
+            self._down_ips.add(ip)
+        else:
+            self._down_ips.discard(ip)
+
+    def port_is_down(self, ip: str) -> bool:
+        return ip in self._down_ips
 
     def attach(self, nic: NIC) -> None:
         if nic.ip in self._ports:
@@ -119,6 +137,11 @@ class Network:
         if self._loss_rng is not None and dgram.protocol == "udp" \
                 and self._loss_rng.random() < self._loss_rate:
             self.dropped += 1
+            return
+        if self._down_ips and dgram.protocol == "udp" \
+                and (dgram.src.ip in self._down_ips
+                     or dgram.dst.ip in self._down_ips):
+            self.fail_stop_drops += 1
             return
         dst_nic = self.nic_for(dgram.dst.ip)
         start(self.sim, self._deliver(dst_nic, dgram),

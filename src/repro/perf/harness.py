@@ -33,7 +33,8 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments import (ablations, figure4, figure5, figure6, figure7,
-                           fleet_scaling, policy_ablation, table1, table2)
+                           fleet_churn, fleet_scaling, policy_ablation,
+                           table1, table2)
 from ..sim import engine as _engine
 
 #: Bump when entry fields change incompatibly; the comparator refuses to
@@ -69,6 +70,8 @@ GRID: Dict[str, _Runner] = {
         figure7.run(quick, workers, stats=stats),
     "fleet_scaling": lambda quick, workers, stats:
         fleet_scaling.run(quick, workers, stats=stats),
+    "fleet_churn": lambda quick, workers, stats:
+        fleet_churn.run(quick, workers, stats=stats),
     "ablations": lambda quick, workers, stats:
         ablations.run(quick, workers, stats=stats),
     "policy_ablation": lambda quick, workers, stats:

@@ -54,3 +54,36 @@ class PeerFetchReply:
     nblocks: int
 
     header_size: int = PEER_REPLY_HEADER
+
+
+@dataclass
+class PeerPushCall:
+    """Hand ``nblocks`` at ``lba`` to a peer (graceful-leave drain).
+
+    Shaped like a hit :class:`PeerFetchReply` on purpose: on the leaving
+    node the data part is keyed placeholders, so the TX hook substitutes
+    the cached buffers zero-copy; on the new owner the RX hook chunks
+    the payload straight into its LBN cache, Data-In style.
+    """
+
+    xid: int
+    lun: int
+    lba: int
+    nblocks: int
+
+    header_size: int = PEER_CALL_HEADER
+    is_metadata: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nblocks <= 0:
+            raise ValueError("nblocks must be positive")
+
+
+@dataclass
+class PeerPushReply:
+    """Acknowledges a :class:`PeerPushCall` (the chunk is placed)."""
+
+    xid: int
+
+    header_size: int = PEER_REPLY_HEADER
+    is_metadata: bool = True

@@ -149,6 +149,72 @@ class TestbedSpec:
             sim=sim, network=network, name_prefix=name_prefix)
 
 
+#: Legal :class:`ChurnEvent` actions.
+CHURN_ACTIONS: Tuple[str, ...] = ("join", "leave", "crash", "rejoin")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One timed membership change in a :class:`ChurnSchedule`.
+
+    * ``join`` — a fresh node (the next free index) is built mid-run,
+      replays the fleet's files, connects, and enters the ring.
+    * ``leave`` — graceful drain: ``node`` writes back its dirty chunks,
+      hands its pinned clean chunks to each block group's new owner over
+      the simulated network, then detaches.
+    * ``crash`` — fail-stop at the switch: ``node``'s UDP ports go dark
+      instantly; its cache contents are lost to the fleet.
+    * ``rejoin`` — the crashed ``node`` comes back with a *cold* NCache
+      (occupancy restarts from zero; evicted keys seed the ghost lists,
+      so the warmup is visible in occupancy + ghost-hit gauges).
+    """
+
+    at_s: float
+    action: str
+    node: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError(f"at_s must be >= 0, got {self.at_s}")
+        if self.action not in CHURN_ACTIONS:
+            raise ValueError(
+                f"unknown churn action {self.action!r}; "
+                f"legal actions: {list(CHURN_ACTIONS)}")
+        if self.action != "join" and self.node is None:
+            raise ValueError(f"{self.action!r} needs an explicit node")
+        if self.node is not None and self.node < 0:
+            raise ValueError(f"node must be >= 0, got {self.node}")
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """A declarative, picklable timeline of membership events.
+
+    Events are kept sorted by ``at_s`` (stable for ties, so same-time
+    events apply in the order written).  An empty schedule is inert: a
+    cluster built with one is event-for-event identical to a cluster
+    built with ``churn=None``.
+    """
+
+    events: Tuple[ChurnEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        events = tuple(self.events)
+        for event in events:
+            if not isinstance(event, ChurnEvent):
+                raise ValueError(
+                    f"events must be ChurnEvent instances, got {event!r}")
+        object.__setattr__(
+            self, "events", tuple(sorted(events, key=lambda e: e.at_s)))
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
 @dataclass(frozen=True)
 class ClusterSpec:
     """N identically-configured testbeds behind a consistent-hash router.
@@ -164,6 +230,10 @@ class ClusterSpec:
       this many LBNs route as one unit.
     * ``vnodes``/``hash_seed`` — ring geometry (virtual nodes per server)
       and its deterministic hash salt.
+    * ``churn`` — optional :class:`ChurnSchedule` of timed membership
+      events, driven inside the simulation by the fleet builder.  An
+      empty (or absent) schedule leaves the fleet byte-identical to the
+      static build.
     """
 
     testbed: TestbedSpec = TestbedSpec()
@@ -173,6 +243,7 @@ class ClusterSpec:
     group_blocks: int = 64
     vnodes: int = 64
     hash_seed: int = 0
+    churn: Optional[ChurnSchedule] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.testbed, TestbedSpec):
@@ -191,6 +262,18 @@ class ClusterSpec:
             raise ValueError("group_blocks must be >= 1")
         if self.vnodes < 1:
             raise ValueError("vnodes must be >= 1")
+        if self.churn is not None:
+            if not isinstance(self.churn, ChurnSchedule):
+                raise ValueError("churn must be a ChurnSchedule")
+            if not self.churn.empty:
+                if self.n_servers < 2:
+                    raise ValueError(
+                        "churn needs n_servers >= 2 (a single-node "
+                        "cluster is the bare standalone testbed)")
+                if self.testbed.kind != "nfs":
+                    raise ValueError(
+                        "churn's fail-stop model cuts UDP traffic at "
+                        "the switch; it requires the nfs testbed kind")
 
     def build(self) -> Any:
         """Compose the wired fleet (a :class:`repro.fleet.Fleet`)."""

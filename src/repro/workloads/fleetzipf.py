@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from ..nfs.client import NfsClient
-from ..sim.engine import Event
+from ..sim.engine import AnyOf, Event
 from ..sim.process import Process, start
 from ..sim.rng import ZipfSampler, substream
 from .base import WorkloadBase
@@ -154,9 +154,30 @@ class FleetZipfWorkload(WorkloadBase):
             index = self._file_index(sampler.sample(), now, rng)
             path = self.paths[index]
             offset = rng.randrange(slots) * self.request_size
-            node = fleet.route(path, offset, salt=logical)
             issued_at = fleet.sim.now
-            nbytes = yield from self._issue(node, path, offset, logical)
+            while True:
+                node = fleet.route(path, offset, salt=logical)
+                if not fleet.dynamic:
+                    nbytes = yield from self._issue(node, path, offset,
+                                                    logical)
+                    break
+                # Under membership dynamics, race the request against
+                # the serving node's down event: if the node crashes
+                # mid-flight the stream reroutes immediately instead of
+                # riding the NFS retransmission schedule.  The stranded
+                # sub-process dies quietly when its retries run out.
+                sub = start(fleet.sim,
+                            self._issue(node, path, offset, logical),
+                            name="fleetzipf-issue")
+                which, value = yield AnyOf(fleet.sim,
+                                           [sub, node.down_event])
+                if which != 0:
+                    fleet.note_inflight_retry()
+                    continue
+                if sub.failed:
+                    raise value
+                nbytes = value
+                break
             testbed = node.testbed
             testbed.meters.record_request(fleet.sim.now - issued_at, nbytes)
             testbed.server_host.counters.add("fleet.served")

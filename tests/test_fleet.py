@@ -4,13 +4,15 @@ import pytest
 
 from repro.experiments.common import scaled_memory_config
 from repro.experiments.parallel import RunSpec, run_specs
-from repro.fleet import HashRing
+from repro.fleet import ChurnSchedule, HashRing
 from repro.fs import BLOCK_SIZE
 from repro.servers import ClusterSpec, ServerMode, TestbedSpec
 from repro.servers.testbed import run_until_complete
 from repro.sim.process import start
 from repro.workloads import SequentialReadWorkload, SpecWebWorkload
+from repro.workloads.fleetzipf import FleetZipfWorkload
 
+KB = 1024
 MB = 1 << 20
 
 
@@ -48,6 +50,67 @@ class TestHashRing:
                     if full.owner(k) != 3
                     and smaller.owner(k) != full.owner(k))
         assert moved == 0
+
+
+class TestHashRingMembership:
+    """Live add/remove: the consistent-hashing property battery."""
+
+    KEYS = 2000
+    SEEDS = range(5)
+
+    def test_add_node_moves_about_one_nth(self):
+        # Growing 8 -> 9 should move ~1/9 of keys, all onto the new node.
+        ideal = 1.0 / 9.0
+        for seed in self.SEEDS:
+            ring = HashRing(range(8), vnodes=64, seed=seed)
+            before = {k: ring.owner(k) for k in range(self.KEYS)}
+            ring.add_node(8)
+            moved = 0
+            for k, old in before.items():
+                new = ring.owner(k)
+                if new != old:
+                    moved += 1
+                    assert new == 8, (seed, k)  # survivors keep their keys
+            assert ideal / 3 < moved / self.KEYS < ideal * 3, seed
+
+    def test_remove_node_moves_only_its_keys(self):
+        for seed in self.SEEDS:
+            ring = HashRing(range(8), vnodes=64, seed=seed)
+            before = {k: ring.owner(k) for k in range(self.KEYS)}
+            ring.remove_node(3)
+            for k, old in before.items():
+                if old != 3:
+                    assert ring.owner(k) == old, (seed, k)
+
+    def test_membership_change_never_reorders_survivors(self):
+        # The replica walk over surviving nodes keeps its relative order:
+        # removing a node just deletes it from every key's owner list.
+        for seed in self.SEEDS:
+            ring = HashRing(range(6), vnodes=64, seed=seed)
+            before = {k: ring.owners(k, 6) for k in range(500)}
+            ring.remove_node(2)
+            for k, old in before.items():
+                expected = [n for n in old if n != 2]
+                assert ring.owners(k, 5) == expected, (seed, k)
+
+    def test_rejoining_identical_node_restores_assignment(self):
+        for seed in self.SEEDS:
+            ring = HashRing(range(8), vnodes=64, seed=seed)
+            ring.remove_node(3)
+            ring.add_node(3)
+            fresh = HashRing(range(8), vnodes=64, seed=seed)
+            assert all(ring.owners(k, 3) == fresh.owners(k, 3)
+                       for k in range(500))
+
+    def test_membership_errors(self):
+        ring = HashRing(range(2), vnodes=16)
+        with pytest.raises(ValueError):
+            ring.add_node(1)        # already present
+        with pytest.raises(ValueError):
+            ring.remove_node(7)     # not on the ring
+        ring.remove_node(0)
+        with pytest.raises(ValueError):
+            ring.remove_node(1)     # cannot empty the ring
 
 
 def _events(trace):
@@ -143,6 +206,33 @@ class TestCooperativeCaching:
                 endpoints = fleet.peer_endpoints(lbn, exclude=node.index)
                 assert all(f"s{node.index}." not in ep.ip
                            for ep in endpoints)
+
+
+class TestEmptyScheduleIdentity:
+    """A fleet with an empty ChurnSchedule is byte-identical to the
+    static fleet: the dynamics machinery must not add a single event."""
+
+    def _run(self, churn):
+        fleet = ClusterSpec(
+            testbed=TestbedSpec.nfs(ServerMode.NCACHE,
+                                    flush_interval_s=None,
+                                    **scaled_memory_config(16)),
+            n_servers=2, replication=2, cooperative=True,
+            group_blocks=8, churn=churn).build()
+        fleet.sim.trace.enable()
+        load = FleetZipfWorkload(
+            n_files=8, file_size=64 * KB, request_size=16 * KB,
+            n_streams=4, think_time_s=0.0005).bind(fleet)
+        fleet.setup()
+        load.start()
+        fleet.sim.run(until=0.05)
+        return _events(fleet.sim.trace)
+
+    def test_empty_schedule_byte_identical_to_static(self):
+        static = self._run(None)
+        empty = self._run(ChurnSchedule())
+        assert static == empty
+        assert len(static) > 0
 
 
 class TestFleetScalingExperiment:

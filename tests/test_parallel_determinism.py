@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.experiments import figure4, table2
+from repro.experiments import figure4, fleet_churn, table2
 from repro.experiments.parallel import (collect_traces, merged_jsonl_events,
                                         run_specs)
 from repro.sim import CPU, AllOf, AnyOf, Resource, Simulator, start
@@ -50,6 +50,14 @@ class TestWorkerCountIndependence:
         # Two real throughput points (smallest request size, cheapest),
         # covering the metrics-report capture path table2 doesn't use.
         specs = figure4.grid(quick=True)[:2]
+        serial = run_specs(specs, workers=1)
+        pooled = run_specs(specs, workers=4)
+        assert _comparable(serial) == _comparable(pooled)
+
+    def test_fleet_churn_identical_1_vs_4_workers(self):
+        # Membership churn (crash + cold rejoin under a hot-key storm)
+        # must stay worker-count independent down to the dispatch count.
+        specs = fleet_churn.grid(quick=True)[:2]
         serial = run_specs(specs, workers=1)
         pooled = run_specs(specs, workers=4)
         assert _comparable(serial) == _comparable(pooled)
