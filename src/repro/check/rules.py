@@ -486,6 +486,68 @@ class CacheDiscipline(Rule):
 
 
 # ---------------------------------------------------------------------------
+# scheduler-discipline
+# ---------------------------------------------------------------------------
+
+_HEAPQ_FUNCTIONS = frozenset({
+    "heappush", "heappop", "heappushpop", "heapreplace", "heapify",
+    "merge", "nlargest", "nsmallest",
+})
+
+
+@register
+class SchedulerDiscipline(Rule):
+    """Time-ordered scheduling lives in ``sim/engine.py`` only."""
+
+    id = "scheduler-discipline"
+    summary = "no heapq / hand-rolled time-ordered scheduling outside sim.engine"
+    invariant = ("single event core (DESIGN.md §11): every future action "
+                 "is ordered by the Simulator's (time, seq) key; a "
+                 "private heapq schedule in model code bypasses the seq "
+                 "tie-break that makes runs deterministic and splits "
+                 "behavior across the calendar/heap backend switch — "
+                 "schedule through sim.schedule()/timeout()/timer()")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if vocab.path_matches(ctx.posix, vocab.HEAPQ_ALLOWED_PATHS):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "heapq" \
+                            and node.lineno not in ctx.type_checking_lines:
+                        yield ctx.diag(
+                            self.id, node,
+                            "import of 'heapq': time-ordered scheduling "
+                            "belongs to repro.sim.engine; go through the "
+                            "Simulator API (schedule/timeout/timer)")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] == "heapq" \
+                        and node.lineno not in ctx.type_checking_lines:
+                    yield ctx.diag(
+                        self.id, node,
+                        "import from 'heapq': time-ordered scheduling "
+                        "belongs to repro.sim.engine; go through the "
+                        "Simulator API (schedule/timeout/timer)")
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if (parts[0] == "heapq" and len(parts) == 2
+                        and parts[1] in _HEAPQ_FUNCTIONS) \
+                        or (len(parts) == 1
+                            and parts[0] in _HEAPQ_FUNCTIONS
+                            and parts[0].startswith("heap")):
+                    yield ctx.diag(
+                        self.id, node,
+                        f"heap operation {name}(): a second time-ordered "
+                        f"schedule outside repro.sim.engine; use "
+                        f"sim.schedule()/sim.timer() so ordering stays "
+                        f"deterministic across scheduler backends")
+
+
+# ---------------------------------------------------------------------------
 # no-legacy-factory
 # ---------------------------------------------------------------------------
 

@@ -115,6 +115,15 @@ WALLCLOCK_ALLOWED_PATHS: Tuple[str, ...] = (
     "repro/perf/",
 )
 
+#: The only module allowed to use ``heapq`` (or otherwise maintain a
+#: time-ordered schedule): the event core itself.  Everything else must
+#: go through the Simulator API — a second scheduler hidden in model
+#: code would bypass the seq tie-break that makes runs deterministic
+#: and the calendar/heap backend switch meaningless.
+HEAPQ_ALLOWED_PATHS: Tuple[str, ...] = (
+    "repro/sim/engine.py",
+)
+
 #: The deprecated testbed factory's own home: the only in-repo module
 #: allowed to reference ``build_testbed`` (the ``no-legacy-factory``
 #: rule points everyone else at :class:`repro.servers.spec.TestbedSpec`).
@@ -201,6 +210,8 @@ DECLARED_TRACE_EVENTS: FrozenSet[str] = frozenset({
     "bcache.miss",
     "buffer.extent_slice",
     "buffer.materialize",
+    "engine.bucket_refill",
+    "engine.bucket_resize",
     "engine.dispatch",
     "fleet.churn",
     "fleet.peer_hit",

@@ -52,7 +52,7 @@ class Chunk:
     __slots__ = ("key", "dirty", "pins", "lbn_hint", "generation",
                  "cache_handle",
                  "_payload", "_buffers", "_frag", "_flavor", "_csum_known",
-                 "__weakref__")
+                 "_length", "__weakref__")
 
     def __init__(self, key: ChunkKey, buffers: List[NetBuffer],
                  dirty: bool = False,
@@ -75,6 +75,7 @@ class Chunk:
         self._frag = 0
         self._flavor = BufferFlavor.SK_BUFF
         self._csum_known = False
+        self._length: Optional[int] = None
 
     @classmethod
     def from_payload(cls, key: ChunkKey, payload: Payload,
@@ -107,6 +108,7 @@ class Chunk:
         self._frag = fragment_size
         self._flavor = flavor
         self._csum_known = csum_known
+        self._length = None
         return self
 
     @property
@@ -135,7 +137,12 @@ class Chunk:
     def length(self) -> int:
         if self._payload is not None:
             return self._payload.length
-        return sum(b.payload_bytes for b in self._buffers)
+        # Buffer lists are fixed at construction (restamps preserve
+        # lengths), so the sum is computed once and kept.
+        n = self._length
+        if n is None:
+            n = self._length = sum(b.payload_bytes for b in self._buffers)
+        return n
 
     def payload(self) -> Payload:
         """The chunk's data as one payload (cached)."""

@@ -215,7 +215,16 @@ class NCacheModule:
         decision = self._classifier.classify_tx(dgram)
         if decision.action is TxAction.PASS:
             return dgram
-        leaves = flatten_payload(dgram.chain.payload())
+        # Leaves straight off the chain: composite parts are flat by
+        # construction, so this is flatten_payload(chain.payload())
+        # without materializing the intermediate concatenation.
+        leaves: List[Payload] = []
+        for buf in dgram.chain.buffers:
+            payload = buf.payload
+            if isinstance(payload, CompositePayload):
+                leaves.extend(payload.parts)
+            elif payload.length:
+                leaves.append(payload)
         if not any(isinstance(p, PlaceholderPayload) for p in leaves):
             return dgram
         if decision.action is TxAction.REMAP_AND_SUBSTITUTE \
@@ -306,14 +315,20 @@ class NCacheModule:
                 continue
             if san is not None:
                 san.chunk_used(chunk, "substitute")
-            cached = buffers_for_range(chunk.buffers, leaf.base_offset,
-                                       leaf.length)
-            if (leaf.base_offset or leaf.length != chunk.length) \
-                    and self.trace.enabled:
-                self.trace.emit("buffer.extent_slice", cat="buffer",
-                                tid=self.trace.tid_for(self.host.name),
-                                offset=leaf.base_offset, length=leaf.length,
-                                chunk_length=chunk.length)
+            if leaf.base_offset == 0 and leaf.length == chunk.length:
+                # Whole-block substitution (the common case): the cached
+                # buffer list goes out as-is; buffers_for_range would
+                # return identity slices of every buffer.
+                cached = chunk.buffers
+            else:
+                cached = buffers_for_range(chunk.buffers, leaf.base_offset,
+                                           leaf.length)
+                if self.trace.enabled:
+                    self.trace.emit("buffer.extent_slice", cat="buffer",
+                                    tid=self.trace.tid_for(self.host.name),
+                                    offset=leaf.base_offset,
+                                    length=leaf.length,
+                                    chunk_length=chunk.length)
             if not self.inherit_checksums:
                 # Fresh descriptors (csum_known=False) so the recompute
                 # and the stack's subsequent marking never touch the

@@ -25,7 +25,8 @@ necessary engineering, both flagged in DESIGN.md:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterator, List, Optional, Union
+from typing import (Callable, Dict, Hashable, Iterable, Iterator, List,
+                    Optional, Union)
 
 from ..cache import CacheKernel, ShardedKernel
 from ..check import sanitizer as _sanitizer
@@ -256,6 +257,33 @@ class NCacheStore:
         if san is not None:
             # After the stale removal, so the key reads as live again.
             san.chunk_cached(chunk)
+
+    def bulk_load(self, chunks: Iterable[Chunk], footprint: int) -> None:
+        """Warm-start fast path: insert fresh clean chunks coldest-first.
+
+        Equivalent to :meth:`make_room` + :meth:`insert` per chunk for
+        chunks that (a) are clean, (b) share one uniform ``footprint``
+        and (c) are not yet resident under their key — exactly the
+        warm-start shape — minus the per-insert work those properties
+        make redundant (footprint recomputation, duplicate-key probing,
+        a used-gauge refresh per chunk).  Shard-imbalance evictions
+        behave exactly as on the general path; a dirty victim is a
+        caller bug and raises.
+        """
+        kernel = self._kernel
+        san = _sanitizer.active()
+        for chunk in chunks:
+            key = chunk.key
+            if kernel.free_bytes_for(key) < footprint:
+                for victim in kernel.make_room(footprint, key=key,
+                                               on_evict=self._evicted):
+                    raise RuntimeError("dirty victim during warm start")
+            chunk.cache_handle = kernel.insert(key, chunk, footprint)
+            index = self._lbn if isinstance(key, LbnKey) else self._fho
+            index[key] = chunk
+            if san is not None:
+                san.chunk_cached(chunk)
+        self._used_gauge.set(kernel.used_bytes)
 
     def drop(self, chunk: Chunk) -> None:
         """Explicitly remove a chunk (invalidation)."""

@@ -99,7 +99,12 @@ def warm_caches(testbed, ranked_names: Sequence[str]) -> None:
         if mode is ServerMode.BASELINE:
             payload = JunkPayload(block_size)
         else:
-            payload = image.initial_block_payload(lbn)
+            # All warm blocks are file data, so build the virtual
+            # payload directly instead of re-deriving the owner from
+            # the LBN (a bisect per block; warm-start fills tens of
+            # thousands).
+            payload = image.file_payload(inode, b * block_size,
+                                         block_size)
         cache.make_room(1)
         cache.insert(lbn, payload)
 
@@ -126,18 +131,21 @@ def _warm_ncache(testbed, ranked_names: Sequence[str]) -> None:
             blocks.append((inode, b))
         if len(blocks) >= capacity:
             break
-    for inode, b in reversed(blocks):
-        lbn = inode.block_lbn(b)
-        payload = image.initial_block_payload(lbn)
-        # Compact chunks: one extent descriptor per block; the buffer
-        # list (with csum_known set, as if the block arrived over the
-        # wire and was verified) only springs into existence for blocks
-        # the workload actually touches.
-        chunk = Chunk.from_payload(LbnKey(lun, lbn), payload, mss,
-                                   csum_known=True)
-        for victim in store.make_room(footprint, key=chunk.key):
-            raise RuntimeError("dirty victim during warm start")
-        store.insert(chunk)
+    def warm_chunks():
+        for inode, b in reversed(blocks):
+            lbn = inode.block_lbn(b)
+            # All warm blocks are file data: build the virtual payload
+            # directly rather than re-deriving the owner from the LBN.
+            payload = image.file_payload(inode, b * block_size,
+                                         block_size)
+            # Compact chunks: one extent descriptor per block; the
+            # buffer list (with csum_known set, as if the block arrived
+            # over the wire and was verified) only springs into
+            # existence for blocks the workload actually touches.
+            yield Chunk.from_payload(LbnKey(lun, lbn), payload, mss,
+                                     csum_known=True)
+
+    store.bulk_load(warm_chunks(), footprint)
     # FS cache: hottest blocks as key-only pages.
     fs_capacity = testbed.cache.capacity_blocks
     for inode, b in reversed(blocks[:fs_capacity]):

@@ -23,7 +23,10 @@ from ..net.network import Datagram
 from ..rpc.messages import XidMatcher
 from ..rpc.peer import (PeerFetchCall, PeerFetchReply, PeerPushCall,
                         PeerPushReply)
-from ..sim.engine import AnyOf, Event, SimulationError
+from ..sim.engine import Event, SimulationError
+
+#: Sentinel delivered to a pending reply waiter when its RTO expires.
+_RTO_EXPIRED = object()
 
 #: ``fn(lbn) -> peer endpoints to probe``, owner order, self excluded.
 PeersForFn = Callable[[int], List[Endpoint]]
@@ -129,6 +132,13 @@ class PeerCacheClient:
         return
         yield  # pragma: no cover - generator marker
 
+    def _rto_expire(self, xid: int, waiter: Event) -> None:
+        if waiter.triggered:
+            return  # the reply landed at this exact instant; it wins
+        self.matcher.cancel(xid)
+        self.host.counters.add("fleet.peer_timeout")
+        waiter.succeed(_RTO_EXPIRED)
+
     def fetch(self, lbn: int, nblocks: int,
               trace: Optional[RequestTrace] = None
               ) -> Generator[Event, Any, Optional[Payload]]:
@@ -153,12 +163,12 @@ class PeerCacheClient:
             header=JunkPayload(call.header_size), trace=trace,
             is_metadata=True,
             meta={"trace": trace} if trace is not None else None)
-        timeout = host.sim.timeout(self.rto_s)
-        which, value = yield AnyOf(host.sim, [waiter, timeout])
-        if which != 0:
-            self.matcher.cancel(xid)
-            host.counters.add("fleet.peer_timeout")
+        timer = host.sim.call_later(self.rto_s, self._rto_expire,
+                                    xid, waiter)
+        value = yield waiter
+        if value is _RTO_EXPIRED:
             return None
+        timer.cancel()
         reply = value.message
         if not reply.hit:
             host.counters.add("fleet.peer_miss")
@@ -196,12 +206,12 @@ class PeerCacheClient:
             message=call, data=data,
             header=JunkPayload(call.header_size),
             discipline=self.discipline, is_metadata=False)
-        timeout = host.sim.timeout(self.rto_s)
-        which, _value = yield AnyOf(host.sim, [waiter, timeout])
-        if which != 0:
-            self.matcher.cancel(xid)
-            host.counters.add("fleet.peer_timeout")
+        timer = host.sim.call_later(self.rto_s, self._rto_expire,
+                                    xid, waiter)
+        value = yield waiter
+        if value is _RTO_EXPIRED:
             return False
+        timer.cancel()
         return True
 
 

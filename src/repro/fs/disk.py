@@ -75,7 +75,7 @@ class DiskModel:
                 self.writes += 1
             else:
                 self.reads += 1
-            yield self.sim.timeout(hold)
+            yield hold  # plain delay: no Event, one dispatch
         finally:
             self._resource.release()
 

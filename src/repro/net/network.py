@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, Optional, TYPE_CHECKING
 
 from ..sim.engine import Event, SimulationError, Simulator
-from ..sim.process import start
 from ..sim.resources import Link
 from .addresses import Endpoint
 from .buffer import BufferChain
@@ -72,6 +71,18 @@ class NIC:
             raise SimulationError(f"NIC {self.ip} not attached to a network")
         yield from self.tx_link.transmit(dgram.wire_bytes)
         self.network.forward(dgram)
+
+    def send(self, dgram: Datagram) -> None:
+        """Fire-and-forget :meth:`transmit`: the callback form.
+
+        The stack never waits on a transmit, so the per-datagram hot
+        path goes through the link's callback API — same serialization
+        and FIFO contention, no Process per datagram.
+        """
+        if self.network is None:
+            raise SimulationError(f"NIC {self.ip} not attached to a network")
+        self.tx_link.transmit_then(dgram.wire_bytes,
+                                   self.network.forward, dgram)
 
 
 class Network:
@@ -144,10 +155,9 @@ class Network:
             self.fail_stop_drops += 1
             return
         dst_nic = self.nic_for(dgram.dst.ip)
-        start(self.sim, self._deliver(dst_nic, dgram),
-              name=f"deliver->{dgram.dst}")
+        dst_nic.rx_link.transmit_then(dgram.wire_bytes, self._arrive,
+                                      dst_nic, dgram)
 
-    def _deliver(self, nic: NIC, dgram: Datagram
-                 ) -> Generator[Event, Any, None]:
-        yield from nic.rx_link.transmit(dgram.wire_bytes)
+    @staticmethod
+    def _arrive(nic: NIC, dgram: Datagram) -> None:
         nic.host.stack.receive(nic, dgram)

@@ -27,6 +27,7 @@ from .buffer import (
     BytesPayload,
     CompositePayload,
     JunkPayload,
+    NetBuffer,
     Payload,
     PlaceholderPayload,
     chain_from_payload,
@@ -92,21 +93,47 @@ class NetworkStack:
         costs = self.host.costs
         acct = self.host.acct
         header = header if header is not None else BytesPayload(b"")
-        moved = yield from self._move_out(data, discipline, trace, is_metadata)
+        if self.host.batched_charging:
+            moved, move_ns = self._note_move_out(data, discipline, trace,
+                                                 is_metadata)
+        else:
+            moved = yield from self._move_out(data, discipline, trace,
+                                              is_metadata)
+            move_ns = None
         datagram_bytes = header.length + moved.length
         n_frames = costs.udp_frames(datagram_bytes)
         wire_bytes = costs.udp_wire_bytes(datagram_bytes)
-        yield from acct.compute(
-            n_frames * costs.packet_tx_ns + costs.udp_datagram_ns, "net.tx")
-        chain = self._build_chain(
-            concat([header, moved]), costs.udp_fragment_payload,
-            src_ip, src_port, dst, "udp")
+        tx_ns = n_frames * costs.packet_tx_ns + costs.udp_datagram_ns
+        if move_ns is None:
+            yield from acct.compute(tx_ns, "net.tx")
+        else:
+            # One CPU hold for the whole train: socket move + per-frame
+            # TX costs, booked separately, executed together.
+            yield from acct.charge_ns(
+                move_ns + acct.note_compute(tx_ns, "net.tx"))
+        payload = concat([header, moved])
+        # Lazy fragmentation: the datagram carries one buffer holding the
+        # whole payload plus a ``lazy_frag`` marker with the fragment
+        # size.  Per-fragment buffers only matter to a receiver that
+        # caches wire buffers (an NCache host), and the receive path
+        # refragments there — every other consumer reassembles the
+        # payload anyway, and frame/wire accounting is arithmetic.
+        # A substituting TX hook replaces the chain wholesale (it
+        # coalesces fragment boundaries away first), so fragmenting
+        # before the hooks would be pure wasted work.
+        chain = self._build_lazy_chain(payload, src_ip, src_port, dst, "udp")
         dgram = Datagram(protocol="udp", src=Endpoint(src_ip, src_port),
                          dst=dst, message=message, chain=chain,
                          n_frames=n_frames, wire_bytes=wire_bytes,
                          meta=dict(meta or {}))
-        dgram = yield from self.host.run_tx_hooks(dgram, trace)
-        yield from self._software_checksum_tx(dgram.chain)
+        # No-op guards: most hosts have no hooks and offload checksums,
+        # and this path runs per datagram — skip the generator plumbing.
+        if self.host._tx_hooks:
+            dgram = yield from self.host.run_tx_hooks(dgram, trace)
+        if dgram.chain is chain:
+            dgram.meta["lazy_frag"] = costs.udp_fragment_payload
+        if not self.host.checksum_offload:
+            yield from self._software_checksum_tx(dgram.chain)
         bus = self.sim.trace
         if bus.enabled:
             bus.emit("net.send", cat="net", tid=bus.tid_for(self.host.name),
@@ -114,7 +141,7 @@ class NetworkStack:
                      wire_bytes=dgram.wire_bytes,
                      msg=type(message).__name__)
         nic = self.host.nic_for_ip(src_ip)
-        start(self.sim, nic.transmit(dgram), name=f"udp-tx {src_ip}->{dst}")
+        nic.send(dgram)
         return dgram
 
     # ------------------------------------------------------------------
@@ -144,7 +171,7 @@ class NetworkStack:
                        wire_bytes=_ACK_WIRE_BYTES,
                        meta={"tcp": "syn"})
         nic = self.host.nic_for_ip(src_ip)
-        start(self.sim, nic.transmit(syn), name="tcp-syn")
+        nic.send(syn)
         yield conn.established
         return conn
 
@@ -153,8 +180,7 @@ class NetworkStack:
     # ------------------------------------------------------------------
 
     def receive(self, nic: NIC, dgram: Datagram) -> None:
-        start(self.sim, self._rx_process(nic, dgram),
-              name=f"rx {dgram.src}->{dgram.dst}")
+        start(self.sim, self._rx_process(nic, dgram), name="rx")
 
     def _rx_process(self, nic: NIC, dgram: Datagram
                     ) -> Generator[Event, Any, None]:
@@ -170,20 +196,46 @@ class NetworkStack:
             self._handle_handshake(nic, dgram)
             return
 
+        frag_size = dgram.meta.get("lazy_frag")
+        if frag_size is not None and self.host._rx_hooks:
+            del dgram.meta["lazy_frag"]
+            # An RX hook may cache this datagram's wire buffers, and
+            # chunk buffer lists are made of fragment-granularity
+            # descriptors — expand the lazy single-buffer chain into
+            # the shape the sender's transport would have produced
+            # (before checksum marking, so csum inheritance sees the
+            # per-fragment buffers exactly as a real arrival would).
+            dgram.chain = self._build_chain(
+                dgram.chain.buffers[0].payload, frag_size,
+                dgram.src.ip, dgram.src.port, dgram.dst, dgram.protocol)
         bus = self.sim.trace
         if bus.enabled:
             bus.emit("net.receive", cat="net",
                      tid=bus.tid_for(self.host.name),
                      proto=dgram.protocol, src=str(dgram.src),
                      frames=dgram.n_frames, wire_bytes=dgram.wire_bytes)
-        yield from acct.compute(dgram.n_frames * costs.packet_rx_ns, "net.rx")
+        rx_ns = dgram.n_frames * costs.packet_rx_ns
         if dgram.protocol == "udp":
-            yield from acct.compute(costs.udp_datagram_ns, "udp.rx")
+            proto_ns, proto_cat = costs.udp_datagram_ns, "udp.rx"
         else:
-            yield from acct.compute(
+            proto_ns, proto_cat = (
                 dgram.n_frames * costs.tcp_segment_ns, "tcp.rx")
-        yield from self._software_checksum_rx(dgram.chain)
-        dgram = yield from self.host.run_rx_hooks(dgram)
+        if self.host.batched_charging:
+            yield from acct.charge_ns(
+                acct.note_compute(rx_ns, "net.rx")
+                + acct.note_compute(proto_ns, proto_cat))
+        else:
+            yield from acct.compute(rx_ns, "net.rx")
+            yield from acct.compute(proto_ns, proto_cat)
+        if self.host.checksum_offload:
+            # Hardware-verified: just mark the checksums known (what a
+            # cached chunk later inherits when its buffers are re-sent).
+            for buf in dgram.chain:
+                buf.csum_known = True
+        else:
+            yield from self._software_checksum_rx(dgram.chain)
+        if self.host._rx_hooks:
+            dgram = yield from self.host.run_rx_hooks(dgram)
 
         if dgram.protocol == "tcp":
             self._ack(nic, dgram)
@@ -200,7 +252,7 @@ class NetworkStack:
             if handler is None:
                 self.host.counters.add("udp.dropped")
                 return
-            start(self.sim, handler(dgram), name=f"udp-handler:{dgram.dst.port}")
+            start(self.sim, handler(dgram), name="udp-handler")
 
     # ------------------------------------------------------------------
     # Internals
@@ -224,6 +276,46 @@ class NetworkStack:
         # ZERO: the copy statement was deleted; junk goes on the wire.
         self.host.counters.add("copies.elided")
         return JunkPayload(data.length)
+
+    def _note_move_out(self, data: Payload, discipline: CopyDiscipline,
+                       trace: Optional[RequestTrace], is_metadata: bool
+                       ) -> tuple:
+        """Batched variant of :meth:`_move_out`: books the movement and
+        returns ``(payload, cpu_ns)`` for the caller to charge with the
+        rest of the train."""
+        acct = self.host.acct
+        if data.length == 0:
+            return data, 0.0
+        if is_metadata or discipline is CopyDiscipline.PHYSICAL:
+            ns = acct.note_physical_copy(data.length, "sock_tx", trace,
+                                         is_metadata)
+            return data.physical_copy(), ns
+        if discipline is CopyDiscipline.LOGICAL:
+            nkeys = max(1, count_placeholder_keys(data))
+            ns = acct.note_logical_copy("sock_tx", nkeys, trace, data.length)
+            return data, ns
+        self.host.counters.add("copies.elided")
+        return JunkPayload(data.length), 0.0
+
+    def _build_lazy_chain(self, payload: Payload, src_ip: str,
+                          src_port: int, dst: Endpoint,
+                          proto: str) -> BufferChain:
+        """A single-buffer chain holding the whole (unfragmented) payload.
+
+        Paired with the ``lazy_frag`` datagram marker: the receive path
+        expands it to the real fragment-sized chain only on hosts whose
+        RX hooks may cache wire buffers (fragment granularity is what a
+        cached chunk's buffer list is made of); everywhere else the
+        per-fragment descriptors would never be observed.
+        """
+        ip = IPv4Header(src_ip=src_ip, dst_ip=dst.ip, protocol=proto)
+        if proto == "udp":
+            transport = UDPHeader(src_port=src_port, dst_port=dst.port)
+        else:
+            transport = TCPHeader(src_port=src_port, dst_port=dst.port)
+        return BufferChain([NetBuffer(payload=payload,
+                                      headers=[ip, transport],
+                                      flavor=self.host.buffer_flavor)])
 
     def _build_chain(self, payload: Payload, fragment_size: int, src_ip: str,
                      src_port: int, dst: Endpoint, proto: str) -> BufferChain:
@@ -256,6 +348,17 @@ class NetworkStack:
         if self.host.checksum_offload:
             return
         acct = self.host.acct
+        if self.host.batched_charging:
+            ns = 0.0
+            for buf in chain:
+                if buf.csum_known or buf.checksum is not None:
+                    ns += acct.note_checksum(buf.payload_bytes, cached=True)
+                else:
+                    ns += acct.note_checksum(buf.payload_bytes)
+                    buf.csum_known = True
+            if ns:
+                yield from acct.charge_ns(ns)
+            return
         for buf in chain:
             if buf.csum_known or buf.checksum is not None:
                 yield from acct.checksum(buf.payload_bytes, cached=True)
@@ -271,9 +374,21 @@ class NetworkStack:
         buffer's checksum is known afterwards — that is what a cached
         chunk later *inherits* when its buffers are re-sent.
         """
+        if self.host.checksum_offload:
+            for buf in chain:
+                buf.csum_known = True
+            return
+        acct = self.host.acct
+        if self.host.batched_charging:
+            ns = 0.0
+            for buf in chain:
+                ns += acct.note_checksum(buf.payload_bytes)
+                buf.csum_known = True
+            if ns:
+                yield from acct.charge_ns(ns)
+            return
         for buf in chain:
-            if not self.host.checksum_offload:
-                yield from self.host.acct.checksum(buf.payload_bytes)
+            yield from acct.checksum(buf.payload_bytes)
             buf.csum_known = True
 
     def _handle_handshake(self, nic: NIC, dgram: Datagram) -> None:
@@ -289,7 +404,7 @@ class NetworkStack:
                               message=None, chain=BufferChain(), n_frames=1,
                               wire_bytes=_ACK_WIRE_BYTES,
                               meta={"tcp": "synack"})
-            start(self.sim, nic.transmit(synack), name="tcp-synack")
+            nic.send(synack)
         else:  # synack
             conn = self._connections.get((dgram.dst, dgram.src))
             if conn is not None and not conn.established.triggered:
@@ -308,7 +423,7 @@ class NetworkStack:
                        message=None, chain=BufferChain(), n_frames=n_acks,
                        wire_bytes=n_acks * _ACK_WIRE_BYTES,
                        meta={"tcp": "ack", "n_acks": n_acks})
-        yield from nic.transmit(ack)
+        nic.send(ack)
 
 
 class TCPConnection:
@@ -334,21 +449,35 @@ class TCPConnection:
         host = self.stack.host
         costs = host.costs
         header = header if header is not None else BytesPayload(b"")
-        moved = yield from self.stack._move_out(data, discipline, trace,
-                                                is_metadata)
+        if host.batched_charging:
+            moved, move_ns = self.stack._note_move_out(data, discipline,
+                                                       trace, is_metadata)
+        else:
+            moved = yield from self.stack._move_out(data, discipline, trace,
+                                                    is_metadata)
+            move_ns = None
         message_bytes = header.length + moved.length
         n_segments = costs.tcp_segments(message_bytes)
         wire_bytes = costs.tcp_wire_bytes(message_bytes)
-        yield from host.acct.compute(
-            n_segments * (costs.packet_tx_ns + costs.tcp_segment_ns), "net.tx")
-        chain = self.stack._build_chain(
-            concat([header, moved]), costs.tcp_mss,
-            self.local.ip, self.local.port, self.remote, "tcp")
+        tx_ns = n_segments * (costs.packet_tx_ns + costs.tcp_segment_ns)
+        if move_ns is None:
+            yield from host.acct.compute(tx_ns, "net.tx")
+        else:
+            yield from host.acct.charge_ns(
+                move_ns + host.acct.note_compute(tx_ns, "net.tx"))
+        payload = concat([header, moved])
+        # Lazy fragmentation — see udp_send for the rationale.
+        chain = self.stack._build_lazy_chain(
+            payload, self.local.ip, self.local.port, self.remote, "tcp")
         dgram = Datagram(protocol="tcp", src=self.local, dst=self.remote,
                          message=message, chain=chain, n_frames=n_segments,
                          wire_bytes=wire_bytes, meta=dict(meta or {}))
-        dgram = yield from host.run_tx_hooks(dgram, trace)
-        yield from self.stack._software_checksum_tx(dgram.chain)
+        if host._tx_hooks:
+            dgram = yield from host.run_tx_hooks(dgram, trace)
+        if dgram.chain is chain:
+            dgram.meta["lazy_frag"] = costs.tcp_mss
+        if not host.checksum_offload:
+            yield from self.stack._software_checksum_tx(dgram.chain)
         bus = self.stack.sim.trace
         if bus.enabled:
             bus.emit("net.send", cat="net", tid=bus.tid_for(host.name),
@@ -356,8 +485,7 @@ class TCPConnection:
                      frames=dgram.n_frames, wire_bytes=dgram.wire_bytes,
                      msg=type(message).__name__)
         nic = host.nic_for_ip(self.local.ip)
-        start(self.stack.sim, nic.transmit(dgram),
-              name=f"tcp-tx {self.local}->{self.remote}")
+        nic.send(dgram)
         return dgram
 
     def __repr__(self) -> str:

@@ -16,8 +16,11 @@ from ..net.buffer import BytesPayload, JunkPayload, Payload
 from ..net.host import Host
 from ..net.network import Datagram
 from ..rpc.messages import XidMatcher
-from ..sim.engine import AnyOf, Event, SimulationError
+from ..sim.engine import Event, SimulationError
 from .protocol import FileHandle, NfsCall, NfsProc, NfsReply
+
+#: Sentinel delivered to a pending reply waiter when its RTO expires.
+_RTO_EXPIRED = object()
 
 
 class NfsClient:
@@ -75,16 +78,33 @@ class NfsClient:
                 dst=self.server, message=call, data=data,
                 header=JunkPayload(call.header_size),
                 trace=trace, is_metadata=call.is_metadata, meta=meta)
-            timeout = self.host.sim.timeout(rto)
-            which, value = yield AnyOf(self.host.sim, [waiter, timeout])
-            if which == 0:
+            # The RTO is a cancellable timer that expires the *waiter*
+            # with a sentinel, so the process waits on one event instead
+            # of racing two through AnyOf — one dispatch and two Event
+            # allocations cheaper per RPC, and a reply that wins the
+            # race cancels the timer so the engine never dispatches it.
+            timer = self.host.sim.call_later(rto, self._rto_expire,
+                                             xid, waiter)
+            value = yield waiter
+            if value is not _RTO_EXPIRED:
+                timer.cancel()
                 return value
             self.retransmissions += 1
             rto *= 2
-        self.matcher.cancel(xid)
+            if attempt + 1 < self.max_attempts:
+                waiter = self.matcher.expect(xid)
         raise SimulationError(
             f"NFS call xid {xid} ({proc.name}) timed out after "
             f"{self.max_attempts} attempts")
+
+    def _rto_expire(self, xid: int, waiter: Event) -> None:
+        if waiter.triggered:
+            return  # the reply landed at this exact instant; it wins
+        # Forget the xid first so a reply racing this expiry is ignored
+        # by the handler (the retransmission will hit the server's
+        # duplicate-request cache and replay it).
+        self.matcher.cancel(xid)
+        waiter.succeed(_RTO_EXPIRED)
 
     # -- convenience wrappers ---------------------------------------------------
 

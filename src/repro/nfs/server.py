@@ -102,6 +102,20 @@ class NfsServer:
         self._write_latency = host.counters.registry.histogram(
             "nfs.write.latency", unit="s")
         self._queue: Store = Store(host.sim, name="nfsd-queue")
+        self._handlers = {
+            NfsProc.NULL: self._do_null,
+            NfsProc.GETATTR: self._do_getattr,
+            NfsProc.SETATTR: self._do_setattr,
+            NfsProc.LOOKUP: self._do_lookup,
+            NfsProc.ACCESS: self._do_getattr,
+            NfsProc.READ: self._do_read,
+            NfsProc.WRITE: self._do_write,
+            NfsProc.CREATE: self._do_create,
+            NfsProc.REMOVE: self._do_remove,
+            NfsProc.READDIR: self._do_readdir,
+            NfsProc.FSSTAT: self._do_null,
+            NfsProc.COMMIT: self._do_commit,
+        }
         host.stack.udp_bind(port, self._enqueue)
         for i in range(n_daemons):
             start(host.sim, self._daemon_loop(), name=f"nfsd-{i}")
@@ -116,8 +130,6 @@ class NfsServer:
     def _daemon_loop(self) -> Generator[Event, Any, None]:
         while True:
             dgram = yield self._queue.get()
-            yield from self.host.acct.compute(
-                self.host.costs.daemon_wakeup_ns, "nfsd.wakeup")
             yield from self._handle(dgram)
             self.requests_served += 1
 
@@ -129,6 +141,8 @@ class NfsServer:
             raise SimulationError(f"NFS server got {call!r}")
         trace: Optional[RequestTrace] = dgram.meta.get("trace")
         costs = self.host.costs
+        yield from self.host.acct.compute(
+            costs.daemon_wakeup_ns, "nfsd.wakeup")
         yield from self.host.acct.compute(costs.rpc_ns, "rpc.decode")
         cached = self.drc.lookup(dgram)
         if cached is not None:
@@ -166,20 +180,7 @@ class NfsServer:
                 trace=trace)
             return
 
-        handler = {
-            NfsProc.NULL: self._do_null,
-            NfsProc.GETATTR: self._do_getattr,
-            NfsProc.SETATTR: self._do_setattr,
-            NfsProc.LOOKUP: self._do_lookup,
-            NfsProc.ACCESS: self._do_getattr,
-            NfsProc.READ: self._do_read,
-            NfsProc.WRITE: self._do_write,
-            NfsProc.CREATE: self._do_create,
-            NfsProc.REMOVE: self._do_remove,
-            NfsProc.READDIR: self._do_readdir,
-            NfsProc.FSSTAT: self._do_null,
-            NfsProc.COMMIT: self._do_commit,
-        }.get(call.proc)
+        handler = self._handlers.get(call.proc)
         if handler is None:
             raise SimulationError(f"unhandled NFS proc {call.proc}")
         yield from handler(dgram, call, trace)
@@ -360,6 +361,6 @@ class FlushDaemon:
 
     def _loop(self) -> Generator[Event, Any, None]:
         while not self._stopped:
-            yield self.vfs.host.sim.timeout(self.interval_s)
+            yield self.interval_s  # plain delay: no Event, one dispatch
             yield from self.vfs.flush_oldest(self.max_blocks_per_pass)
             self.passes += 1

@@ -8,11 +8,17 @@ Usage::
     python -m repro.perf --check               # fail on >20% regression
     python -m repro.perf --check --tolerance 0.5
     python -m repro.perf --no-record --check   # CI: compare only
+    python -m repro.perf --engine              # grid + engine microbench
+    python -m repro.perf --engine --no-grid --check --no-record
+                                               # CI engine smoke job
 
 ``--check`` compares against the newest committed ``BENCH_*.json`` of
 matching schema/mode (ignoring the record this run just wrote) and
 exits non-zero if any experiment's wall-clock regressed beyond the
-tolerance band.
+tolerance band.  With ``--engine`` the scheduler microbench kernels
+run too (recorded under the ``"engine"`` key) and ``--check``
+additionally fails on an events/sec drop beyond the tolerance;
+baselines predating the engine bench compare on wall/RSS only.
 """
 
 from __future__ import annotations
@@ -22,8 +28,10 @@ import sys
 from datetime import date
 from pathlib import Path
 
+from .enginebench import run_engine_bench
 from .harness import (DEFAULT_RSS_TOLERANCE, DEFAULT_TOLERANCE, GRID,
-                      compare, latest_baseline, run_grid, write_record)
+                      compare, compare_engine, latest_baseline, run_grid,
+                      write_record)
 
 RESULTS_DIR = (Path(__file__).resolve().parents[3]
                / "benchmarks" / "results")
@@ -52,6 +60,11 @@ def main(argv=None) -> int:
                         help="allowed fractional peak-RSS growth "
                              "(default: %(default)s); entries with a "
                              "null RSS on either side are skipped")
+    parser.add_argument("--engine", action="store_true",
+                        help="also run the scheduler microbench kernels")
+    parser.add_argument("--no-grid", action="store_true",
+                        help="skip the experiment grid (with --engine: "
+                             "engine kernels only — the CI smoke job)")
     parser.add_argument("--no-record", action="store_true",
                         help="do not write a BENCH_<date>.json record")
     parser.add_argument("--results-dir", type=Path, default=RESULTS_DIR,
@@ -62,9 +75,14 @@ def main(argv=None) -> int:
                              "(default: --results-dir)")
     args = parser.parse_args(argv)
 
+    if args.no_grid and not args.engine:
+        parser.error("--no-grid without --engine runs nothing")
+    if args.no_grid and args.experiments:
+        parser.error("--no-grid contradicts naming experiments")
+
     quick = not args.full
-    entries = run_grid(args.experiments or None, quick=quick,
-                       workers=args.workers)
+    entries = [] if args.no_grid else run_grid(
+        args.experiments or None, quick=quick, workers=args.workers)
     for e in entries:
         rss = (f"{e['peak_rss_kb']} KB" if e["peak_rss_kb"] is not None
                else "n/a")
@@ -73,11 +91,23 @@ def main(argv=None) -> int:
               f"{e['events_per_sec']:>9d} ev/s "
               f"rss {rss}")
 
+    engine_entries = []
+    if args.engine:
+        engine_entries = run_engine_bench()
+        for e in engine_entries:
+            speedup = (f"  x{e['speedup_vs_legacy']} vs legacy"
+                       if "speedup_vs_legacy" in e else "")
+            print(f"engine:{e['name']:<19} {e['wall_s']:>8.3f}s "
+                  f"{e['events_per_sec']:>9d} ev/s "
+                  f"{e['ops_per_sec']:>9d} op/s "
+                  f"[{e['scheduler']}]{speedup}")
+
     written = None
     if not args.no_record:
         written = write_record(entries, args.results_dir,
                                date.today().isoformat(), quick=quick,
-                               workers=args.workers)
+                               workers=args.workers,
+                               engine=engine_entries or None)
         print(f"recorded: {written}")
 
     if not args.check:
@@ -103,6 +133,19 @@ def main(argv=None) -> int:
               f"{v['wall_s']:>8.3f}s vs {v['baseline_wall_s']:>8.3f}s "
               f"(x{v['ratio']}){rss}{flag}")
         failed = failed or v["status"] == "fail"
+    if engine_entries:
+        if "engine" not in baseline:
+            print(f"perf: baseline {base_path.name} predates the engine "
+                  f"bench; engine kernels not compared")
+        for v in compare_engine(engine_entries, baseline, args.tolerance):
+            if v["status"] == "new":
+                print(f"engine:{v['name']:<19} NEW    "
+                      f"{v['events_per_sec']:>9d} ev/s")
+                continue
+            print(f"engine:{v['name']:<19} {v['status'].upper():<6} "
+                  f"{v['events_per_sec']:>9d} ev/s vs "
+                  f"{v['baseline_events_per_sec']:>9d} ev/s (x{v['ratio']})")
+            failed = failed or v["status"] == "fail"
     return 1 if failed else 0
 
 

@@ -165,11 +165,16 @@ def run_grid(names: Optional[Sequence[str]] = None, quick: bool = True,
 
 def write_record(entries: Sequence[Dict[str, Any]], results_dir: Path,
                  date_stamp: str, quick: bool = True,
-                 workers: int = 1) -> Path:
+                 workers: int = 1,
+                 engine: Optional[Sequence[Dict[str, Any]]] = None) -> Path:
     """Write ``BENCH_<date>.json``; same-day reruns overwrite.
 
     ``date_stamp`` is passed in (``YYYY-MM-DD``) rather than read here
-    so callers — and tests — control the filename.
+    so callers — and tests — control the filename.  ``engine`` entries
+    (from :mod:`repro.perf.enginebench`) land under a separate
+    ``"engine"`` key — an *optional* field: records written before the
+    engine bench existed simply lack it, and the comparator treats
+    that as "nothing to compare", not an error.
     """
     results_dir.mkdir(parents=True, exist_ok=True)
     path = results_dir / f"BENCH_{date_stamp}.json"
@@ -180,6 +185,8 @@ def write_record(entries: Sequence[Dict[str, Any]], results_dir: Path,
         "recorded": date_stamp,
         "entries": list(entries),
     }
+    if engine:
+        record["engine"] = list(engine)
     path.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
     return path
 
@@ -270,5 +277,39 @@ def compare(current: Sequence[Dict[str, Any]], baseline: Dict[str, Any],
             "baseline_peak_rss_kb": base_rss,
             "rss_ratio": rss_ratio,
             "drift": entry["sim_events"] != base.get("sim_events"),
+        })
+    return verdicts
+
+
+def compare_engine(current: Sequence[Dict[str, Any]],
+                   baseline: Dict[str, Any],
+                   tolerance: float = DEFAULT_TOLERANCE
+                   ) -> List[Dict[str, Any]]:
+    """Verdict per engine-bench kernel against the baseline record.
+
+    Engine kernels are throughput benchmarks, so the gated quantity is
+    ``events_per_sec`` (a *drop* beyond ``tolerance`` fails) rather
+    than wall-clock growth.  Baselines written before the engine bench
+    existed carry no ``"engine"`` key; every current kernel is then
+    reported ``new`` and nothing fails — old BENCH files keep working
+    as wall/RSS baselines (graceful degradation, not an error).
+    """
+    by_name = {e.get("name"): e for e in baseline.get("engine", [])
+               if isinstance(e, dict)}
+    verdicts: List[Dict[str, Any]] = []
+    for entry in current:
+        base = by_name.get(entry["name"])
+        base_eps = base.get("events_per_sec") if base else None
+        if not base_eps:
+            verdicts.append({"name": entry["name"], "status": "new",
+                             "events_per_sec": entry["events_per_sec"]})
+            continue
+        ratio = entry["events_per_sec"] / base_eps
+        verdicts.append({
+            "name": entry["name"],
+            "status": "ok" if ratio >= 1.0 - tolerance else "fail",
+            "events_per_sec": entry["events_per_sec"],
+            "baseline_events_per_sec": base_eps,
+            "ratio": round(ratio, 3),
         })
     return verdicts

@@ -30,16 +30,28 @@ from ..nfs.client import NfsClient
 from ..nfs.protocol import FileHandle
 from ..nfs.server import FlushDaemon, NfsServer
 from ..obs.metrics import MetricsRegistry
-from ..sim.engine import Simulator
+from ..sim.engine import Simulator, StopSimulation
 from ..sim.process import Process, start
 from ..sim.stats import MeterSet
 from .config import ServerMode, TestbedConfig
 
 
+def _stop_run(_event) -> None:
+    raise StopSimulation
+
+
 def run_until_complete(sim: Simulator, process: Process) -> None:
-    """Drive the simulator until ``process`` finishes (setup phases)."""
-    while not process.triggered:
-        if not sim.step():
+    """Drive the simulator until ``process`` finishes (setup phases).
+
+    Runs the engine's fast ``run()`` loop and stops it from a completion
+    callback — prewarm phases push hundreds of thousands of events, and
+    one ``step()`` call per event (full next-event seek each time) was a
+    measurable slice of every experiment's setup.
+    """
+    if not process.triggered:
+        process.add_callback(_stop_run)
+        sim.run()
+        if not process.triggered:
             raise RuntimeError("simulation drained before process finished")
     if process.failed:
         raise process.value

@@ -31,6 +31,8 @@ Yieldable = Union[Event, float, int]
 class Process(Event):
     """Drives a generator; triggers (as an Event) with its return value."""
 
+    __slots__ = ("name", "_gen", "_joined", "_starting")
+
     def __init__(self, sim: Simulator, gen: Generator[Yieldable, Any, Any],
                  name: Optional[str] = None) -> None:
         super().__init__(sim)
@@ -41,7 +43,18 @@ class Process(Event):
         self.name = name or getattr(gen, "__name__", "process")
         self._gen = gen
         self._joined = False
-        sim.schedule(0.0, self._resume, None, False)
+        # Inline start: run the first segment to its first yield right
+        # here instead of scheduling it at +0.0 — one schedule+dispatch
+        # saved per process, and the rx path starts one per datagram.
+        # Ordering shifts deterministically (the first segment now runs
+        # before the starter's next statement, not after its current
+        # callback returns); nothing in the tree depends on the old
+        # interleaving.
+        self._starting = True
+        try:
+            self._resume(None, False)
+        finally:
+            self._starting = False
 
     def add_callback(self, fn) -> None:  # type: ignore[override]
         self._joined = True
@@ -92,7 +105,19 @@ class Process(Event):
     def _crash(self, exc: BaseException) -> None:
         self.fail(exc)
         if not self._joined:
+            if self._starting:
+                # Crash in the inline first segment: the caller of
+                # start() has not had the chance to join yet.  Re-check
+                # once the current instant's callbacks have run, so
+                # ``proc = start(...); proc.add_callback(...)`` keeps
+                # its pre-inline-start semantics.
+                self.sim.schedule(0.0, self._raise_if_unjoined, exc)
+                return
             # No joiner will ever observe this failure; surface it loudly.
+            raise exc
+
+    def _raise_if_unjoined(self, exc: BaseException) -> None:
+        if not self._joined:
             raise exc
 
 

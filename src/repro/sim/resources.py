@@ -10,7 +10,7 @@ by ``capacity * window``.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Generator
+from typing import Any, Callable, Generator
 
 from .engine import Event, SimulationError, Simulator
 
@@ -103,17 +103,67 @@ class Resource:
             self.release()
 
 
-class CPU(Resource):
+class CPU:
     """A processor with ``cores`` identical cores.
 
     Model code charges work through :meth:`execute` (a process helper) or
     accumulates aggregated nanosecond costs through a
     :class:`repro.copymodel.accounting.CopyAccountant` which eventually
     executes them here.
+
+    Like :class:`Link`, the CPU is a FIFO queue with deterministic
+    service times, so it runs on per-core *virtual clocks* instead of an
+    event-driven resource: a charge arriving at ``t`` books the
+    earliest-free core and starts at ``max(t, that core's next-free)``
+    — exactly the start time FIFO hand-off would produce — and the
+    charging process sleeps once, until the work completes.  A CPU
+    charge is the single hottest operation in the tree (~10^6 per quick
+    experiment), and under saturation (the paper's operating point for
+    ORIGINAL mode) the resource version paid an extra grant event plus
+    two dispatches per queued charge.
     """
 
     def __init__(self, sim: Simulator, cores: int = 1, name: str = "cpu") -> None:
-        super().__init__(sim, capacity=cores, name=name)
+        if cores < 1:
+            raise SimulationError(f"cores must be >= 1, got {cores}")
+        self.sim = sim
+        self.capacity = cores
+        self.name = name
+        #: per-core next-free times (virtual clocks).
+        self._free = [0.0] * cores
+        self._booked = 0.0
+
+    def _admit(self, seconds: float) -> float:
+        """Book ``seconds`` on the earliest-free core; returns the delay
+        from now until the work completes."""
+        now = self.sim.now
+        free = self._free
+        if len(free) == 1:
+            nf = free[0]
+            finish = (nf if nf > now else now) + seconds
+            free[0] = finish
+        else:
+            i = min(range(len(free)), key=free.__getitem__)
+            nf = free[i]
+            finish = (nf if nf > now else now) + seconds
+            free[i] = finish
+        self._booked += seconds
+        return finish - now
+
+    def busy_time(self) -> float:
+        """Cumulative busy core-seconds up to now (in-flight pro rata)."""
+        now = self.sim.now
+        ahead = 0.0
+        for f in self._free:
+            if f > now:
+                ahead += f - now
+        return self._booked - ahead
+
+    def utilization(self, since_busy: float, since_time: float) -> float:
+        window = self.sim.now - since_time
+        if window <= 0:
+            return 0.0
+        return (self.busy_time() - since_busy) / (self.capacity * window)
 
     def execute(self, seconds: float) -> Generator[Event, Any, None]:
         """Occupy one core for ``seconds`` of work (FIFO queueing)."""
@@ -121,10 +171,12 @@ class CPU(Resource):
             raise SimulationError(f"negative CPU cost {seconds!r}")
         if seconds == 0.0:
             return
-        yield from self.use(seconds)
+        yield self._admit(seconds)  # queueing delay + hold, one dispatch
 
     def execute_ns(self, nanoseconds: float) -> Generator[Event, Any, None]:
-        yield from self.execute(nanoseconds * 1e-9)
+        # Plain function returning the generator: callers ``yield from``
+        # it either way, and this drops one delegation frame per charge.
+        return self.execute(nanoseconds * 1e-9)
 
 
 class Link:
@@ -133,6 +185,17 @@ class Link:
     Transmissions serialize FIFO on the link; propagation latency is added
     after serialization and does not occupy the link (pipelining).
     Full-duplex paths are modelled as two independent ``Link`` objects.
+
+    A capacity-1 FIFO queue with deterministic service times needs no
+    event-driven resource: the link keeps a *virtual clock*
+    (``_next_free``).  A burst arriving at ``t`` starts serializing at
+    ``max(t, next_free)`` and finishes ``serialization_delay`` later —
+    byte-identical timing to an acquire/hold/release resource, at one
+    scheduled callback per transmission instead of two or three.  Busy
+    accounting is exact: everything between ``now`` and ``next_free`` is
+    a contiguous busy block (queued bursts run back to back and updates
+    only happen at arrival times), so the busy time *up to now* is the
+    total serialization booked minus the part of that block still ahead.
     """
 
     def __init__(self, sim: Simulator, bandwidth_bps: float,
@@ -143,17 +206,43 @@ class Link:
         self.bandwidth_bps = bandwidth_bps
         self.latency_s = latency_s
         self.name = name
-        self._resource = Resource(sim, capacity=1, name=name)
         self.bytes_sent = 0
+        self._next_free = 0.0
+        self._ser_total = 0.0
 
     def serialization_delay(self, nbytes: int) -> float:
         return nbytes * 8.0 / self.bandwidth_bps
 
     def busy_time(self) -> float:
-        return self._resource.busy_time()
+        """Cumulative busy seconds up to now (in-flight bursts pro rata)."""
+        ahead = self._next_free - self.sim.now
+        return self._ser_total - ahead if ahead > 0.0 else self._ser_total
 
     def utilization(self, since_busy: float, since_time: float) -> float:
-        return self._resource.utilization(since_busy, since_time)
+        window = self.sim.now - since_time
+        if window <= 0:
+            return 0.0
+        return (self.busy_time() - since_busy) / window
+
+    def _admit(self, nbytes: int) -> float:
+        """Book a burst on the virtual clock; returns the delivery delay."""
+        if nbytes < 0:
+            raise SimulationError("negative transmit size")
+        self.bytes_sent += nbytes
+        ser = nbytes * 8.0 / self.bandwidth_bps
+        now = self.sim.now
+        nf = self._next_free
+        finish = (nf if nf > now else now) + ser
+        self._next_free = finish
+        self._ser_total += ser
+        return finish - now + self.latency_s
+
+    def transmit_then(self, nbytes: int, fn: Callable[..., None],
+                      *args: Any) -> None:
+        """Callback form of :meth:`transmit` for the per-datagram path:
+        ``fn(*args)`` runs when the last bit arrives at the far end —
+        one scheduled callback, no Process machinery."""
+        self.sim.schedule(self._admit(nbytes), fn, *args)
 
     def transmit(self, nbytes: int) -> Generator[Event, Any, None]:
         """Occupy the link while ``nbytes`` serialize, then wait latency.
@@ -161,12 +250,7 @@ class Link:
         Returns (as the process value) the time at which the last bit
         arrives at the far end.
         """
-        if nbytes < 0:
-            raise SimulationError("negative transmit size")
-        self.bytes_sent += nbytes
-        yield from self._resource.use(self.serialization_delay(nbytes))
-        if self.latency_s:
-            yield self.latency_s  # plain delay: no Event needed
+        yield self._admit(nbytes)  # plain delay: no Event needed
         return self.sim.now
 
 

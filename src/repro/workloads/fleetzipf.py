@@ -183,7 +183,7 @@ class FleetZipfWorkload(WorkloadBase):
             testbed.server_host.counters.add("fleet.served")
             think = self._think_time(now)
             if think > 0:
-                yield fleet.sim.timeout(think)
+                yield think  # plain delay: no Event, one dispatch
 
     def _issue(self, node: Any, path: str, offset: int, logical: int
                ) -> Any:

@@ -104,7 +104,7 @@ class TracePlayer(WorkloadBase):
             if rec.timestamp is not None:
                 delay = t0 + rec.timestamp - self.testbed.sim.now
                 if delay > 0:
-                    yield self.testbed.sim.timeout(delay)
+                    yield delay  # plain delay: no Event, one dispatch
             start(self.testbed.sim, self._play_one(client, rec),
                   name="trace-op")
         yield self.done

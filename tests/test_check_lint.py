@@ -294,6 +294,52 @@ class TestSuppressions:
         assert active(diags, "no-global-random")
 
 
+class TestSchedulerDiscipline:
+    def test_heapq_import_flagged(self, tmp_path):
+        diags = lint_source(tmp_path, """\
+            import heapq
+        """)
+        found = active(diags, "scheduler-discipline")
+        assert found and "heapq" in found[0].message
+
+    def test_heap_call_flagged(self, tmp_path):
+        diags = lint_source(tmp_path, """\
+            def sched(heapq, q, item):
+                heapq.heappush(q, item)
+        """)
+        found = active(diags, "scheduler-discipline")
+        assert found and "heappush" in found[0].message
+
+    def test_from_import_flagged(self, tmp_path):
+        diags = lint_source(tmp_path, """\
+            from heapq import heappop
+        """)
+        assert active(diags, "scheduler-discipline")
+
+    def test_engine_is_exempt(self, tmp_path):
+        diags = lint_source(tmp_path, """\
+            import heapq
+        """, name="repro/sim/engine.py")
+        assert not active(diags, "scheduler-discipline")
+
+    def test_type_checking_import_exempt(self, tmp_path):
+        diags = lint_source(tmp_path, """\
+            from typing import TYPE_CHECKING
+            if TYPE_CHECKING:
+                import heapq
+        """)
+        assert not active(diags, "scheduler-discipline")
+
+    def test_nsmallest_via_module_flagged_bare_not(self, tmp_path):
+        # Bare merge()/nlargest() names are too common to claim; only
+        # the heap* spellings and heapq.* attributes are the rule's.
+        diags = lint_source(tmp_path, """\
+            def pick(merge, xs, ys):
+                return merge(xs, ys)
+        """)
+        assert not active(diags, "scheduler-discipline")
+
+
 class TestDriver:
     def test_syntax_error_reported_not_raised(self, tmp_path):
         diags = lint_source(tmp_path, "def broken(:\n")
@@ -311,7 +357,7 @@ class TestDriver:
         assert set(RULES) == {"no-wallclock", "no-global-random",
                               "copy-discipline", "trace-naming",
                               "engine-discipline", "cache-discipline",
-                              "no-legacy-factory"}
+                              "no-legacy-factory", "scheduler-discipline"}
         for rule in all_rules():
             assert rule.summary and rule.invariant
 

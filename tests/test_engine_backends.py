@@ -1,0 +1,248 @@
+"""Timer cancellation semantics and calendar/heap backend identity.
+
+The calendar-queue core (DESIGN.md §11) must be observationally
+identical to the legacy binary heap: same dispatch order, same clock,
+same dispatch *count* — including for cancelled timers, which cost
+zero dispatches and never advance the clock on either backend.  Every
+test here runs against both backends via the ``backend`` fixture
+(``REPRO_SCHEDULER`` is read at each ``Simulator()`` creation, so the
+env toggle takes effect per test).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import fleet_churn, table2
+from repro.experiments.parallel import run_specs
+from repro.sim import AnyOf, CPU, Resource, Simulator, start
+from repro.sim.engine import HeapSimulator, SimulationError, dispatch_count
+
+
+@pytest.fixture(params=["calendar", "heap"])
+def backend(request, monkeypatch):
+    monkeypatch.setenv("REPRO_SCHEDULER", request.param)
+    return request.param
+
+
+# ---------------------------------------------------------------------------
+# cancellation semantics
+# ---------------------------------------------------------------------------
+
+class TestTimerCancellation:
+    def test_cancelled_timer_never_fires(self, backend):
+        sim = Simulator()
+        fired = []
+        handle = sim.call_later(1.0, fired.append, "boom")
+        assert handle.cancel() is True
+        sim.run()
+        assert fired == []
+        assert handle.cancelled and not handle.fired
+
+    def test_cancel_costs_no_dispatch_and_no_clock_advance(self, backend):
+        sim = Simulator()
+        handle = sim.call_later(5.0, lambda: None)
+        sim.schedule(1.0, handle.cancel)
+        before = dispatch_count()
+        sim.run()
+        # One dispatch for the cancelling callback, none for the timer,
+        # and the clock stops at the last *real* event.
+        assert dispatch_count() - before == 1
+        assert sim.now == 1.0
+
+    def test_cancel_twice_second_is_noop(self, backend):
+        sim = Simulator()
+        handle = sim.call_later(1.0, lambda: None)
+        assert handle.cancel() is True
+        assert handle.cancel() is False
+        sim.run()
+        assert not handle.fired
+
+    def test_cancel_after_fire_is_noop(self, backend):
+        sim = Simulator()
+        fired = []
+        handle = sim.call_later(1.0, fired.append, "tick")
+        sim.run()
+        assert fired == ["tick"] and handle.fired
+        assert handle.cancel() is False
+        assert not handle.cancelled
+
+    def test_fired_timer_dispatches_exactly_once(self, backend):
+        sim = Simulator()
+        hits = []
+        sim.call_later(1.0, hits.append, 1)
+        before = dispatch_count()
+        sim.run()
+        assert hits == [1]
+        assert dispatch_count() - before == 1
+
+    def test_cancel_same_timestamp_before_dispatch(self, backend):
+        # A callback at t=1 cancels a timer also due at t=1 but queued
+        # later (higher seq): the timer must not fire even though its
+        # bucket is already being drained when the cancel lands.
+        sim = Simulator()
+        fired = []
+        holder = {}
+
+        def canceller():
+            assert holder["h"].cancel() is True
+
+        sim.schedule(1.0, canceller)                    # lower seq, runs first
+        holder["h"] = sim.call_later(1.0, fired.append, "late")
+        sim.run()
+        assert fired == []
+        assert sim.now == 1.0
+
+    def test_timer_event_race_and_cancel(self, backend):
+        # The NFS-client idiom: reply raced against an RTO timer; the
+        # winner cancels the timer and no timer dispatch ever happens.
+        sim = Simulator()
+        outcome = []
+
+        def rpc():
+            waiter = sim.event()
+            sim.schedule(0.01, waiter.succeed, "reply")
+            timer = sim.timer(1.0)
+            which, value = yield AnyOf(sim, [waiter, timer])
+            if which == 0:
+                timer.cancel()
+            outcome.append((which, value, sim.now))
+
+        start(sim, rpc(), name="rpc")
+        sim.run()
+        assert outcome == [(0, "reply", 0.01)]
+        assert sim.now == 0.01  # the cancelled RTO never advanced time
+
+    def test_timer_event_timeout_path(self, backend):
+        sim = Simulator()
+        outcome = []
+
+        def rpc():
+            waiter = sim.event()  # never succeeds
+            timer = sim.timer(0.5, "rto")
+            which, value = yield AnyOf(sim, [waiter, timer])
+            outcome.append((which, value, sim.now))
+
+        start(sim, rpc(), name="rpc")
+        sim.run()
+        assert outcome == [(1, "rto", 0.5)]
+
+    def test_call_at_and_negative_delay_rejected(self, backend):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_later(-1.0, lambda: None)
+        fired = []
+        sim.call_at(2.0, fired.append, "at")
+        sim.run()
+        assert fired == ["at"] and sim.now == 2.0
+
+
+# ---------------------------------------------------------------------------
+# backend identity
+# ---------------------------------------------------------------------------
+
+def _scripted_log(scheduler):
+    """Ordering-sensitive scenario; returns its (time, tag) fingerprint.
+
+    Touches contended/uncontended resources, CPU charges, same-time
+    ties, zero-delay cascades, timer cancellation, and AnyOf racing —
+    the features whose dispatch order the two backends must agree on.
+    """
+    sim = Simulator(scheduler)
+    log = []
+
+    lock = Resource(sim, capacity=1, name="lock")
+    cpu = CPU(sim, cores=2, name="cpu")
+
+    def worker(name, delay, hold):
+        yield delay
+        log.append([round(sim.now, 9), f"{name}.want"])
+        yield from lock.use(hold)
+        log.append([round(sim.now, 9), f"{name}.done"])
+        return name
+
+    def rpc(name, reply_after, rto):
+        waiter = sim.event()
+        sim.schedule(reply_after, waiter.succeed, f"{name}.reply")
+        timer = sim.timer(rto)
+        which, value = yield AnyOf(sim, [waiter, timer])
+        if which == 0:
+            timer.cancel()
+            log.append([round(sim.now, 9), f"{name}.replied"])
+        else:
+            log.append([round(sim.now, 9), f"{name}.rto"])
+
+    def cruncher():
+        yield from cpu.execute(0.25)
+        log.append([round(sim.now, 9), "cruncher.done"])
+
+    start(sim, worker("w1", 0.0, 1.0), name="w1")
+    start(sim, worker("w2", 0.5, 1.0), name="w2")
+    start(sim, rpc("fast", 0.1, 2.0), name="fast")
+    start(sim, rpc("slow", 9.0, 0.75), name="slow")
+    start(sim, cruncher(), name="cruncher")
+    # Same-timestamp pile-up: three callbacks on one bucket, one of
+    # them scheduling a zero-delay cascade into the live bucket.
+    for tag in ("a", "b"):
+        sim.schedule(0.25, log.append, [0.25, f"tie.{tag}"])
+    sim.schedule(0.25, lambda: sim.schedule(0.0, log.append,
+                                            [0.25, "tie.cascade"]))
+    sim.run()
+    log.append([round(sim.now, 9), "end"])
+    return log
+
+
+class TestBackendIdentity:
+    def test_backend_switch_constructs_right_core(self, monkeypatch):
+        assert Simulator("heap").scheduler == "heap"
+        assert isinstance(Simulator("heap"), HeapSimulator)
+        assert Simulator("calendar").scheduler == "calendar"
+        assert not isinstance(Simulator("calendar"), HeapSimulator)
+        monkeypatch.setenv("REPRO_SCHEDULER", "heap")
+        assert isinstance(Simulator(), HeapSimulator)
+        with pytest.raises(SimulationError):
+            Simulator("fibonacci")
+
+    def test_scripted_log_identical_across_backends(self):
+        assert _scripted_log("calendar") == _scripted_log("heap")
+
+    def test_dispatch_count_identical_across_backends(self):
+        counts = []
+        for scheduler in ("calendar", "heap"):
+            before = dispatch_count()
+            _scripted_log(scheduler)
+            counts.append(dispatch_count() - before)
+        assert counts[0] == counts[1]
+
+    def _grid_fingerprint(self, specs, workers=1):
+        results = run_specs(specs, workers=workers)
+        return json.dumps(
+            [{"label": rr.label, "value": rr.value, "report": rr.report,
+              "sim_events": rr.sim_events} for rr in results],
+            sort_keys=True, default=str)
+
+    def test_table2_identical_across_backends(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
+        calendar = self._grid_fingerprint(table2.grid())
+        monkeypatch.setenv("REPRO_SCHEDULER", "heap")
+        heap = self._grid_fingerprint(table2.grid())
+        assert calendar == heap
+
+    def test_fleet_churn_point_identical_across_backends(self, monkeypatch):
+        # Churn exercises peer RTO timers, failover re-routing, and
+        # rejoin timers — the cancellation-heaviest path in the tree.
+        specs = fleet_churn.grid(quick=True)[:1]
+        monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
+        calendar = self._grid_fingerprint(specs)
+        monkeypatch.setenv("REPRO_SCHEDULER", "heap")
+        heap = self._grid_fingerprint(specs)
+        assert calendar == heap
+
+    def test_cancellation_worker_count_independent(self, monkeypatch):
+        # Workers 1 vs 4 over a churn point: RTO cancellations happen
+        # inside pool workers; merged results must be byte-identical.
+        specs = fleet_churn.grid(quick=True)[:1]
+        assert (self._grid_fingerprint(specs, workers=1)
+                == self._grid_fingerprint(specs, workers=4))

@@ -50,9 +50,20 @@ class TestUdpFragmentationProperty:
         assert proc.triggered and not proc.failed
         whole = got[0].chain.payload().materialize()
         assert whole == header.materialize() + data.materialize()
-        # Fragment sizing invariant: nothing exceeds the fragment payload.
+        # Fragment sizing invariant: the wire chain is either lazily
+        # fragmented (one buffer plus the ``lazy_frag`` marker a caching
+        # receiver expands with) or already fragment-sized.
         frag = a.costs.udp_fragment_payload
-        assert all(buf.payload_bytes <= frag for buf in got[0].chain)
+        chain = got[0].chain
+        lazy = got[0].meta.get("lazy_frag")
+        if lazy is not None:
+            assert lazy == frag
+            assert len(chain.buffers) == 1
+            chain = b.stack._build_chain(
+                chain.buffers[0].payload, lazy,
+                got[0].src.ip, got[0].src.port, got[0].dst, "udp")
+            assert chain.payload().materialize() == whole
+        assert all(buf.payload_bytes <= frag for buf in chain)
 
 
 class TestTcpSegmentationProperty:
