@@ -9,8 +9,8 @@ substitution and FHO→LBN remapping.
 
 Typical entry points:
 
->>> from repro import build_testbed      # one-call testbed construction
->>> from repro.servers import NfsTestbed, ServerMode, TestbedConfig
+>>> from repro.servers import TestbedSpec, ServerMode
+>>> from repro.servers import NfsTestbed, TestbedConfig
 >>> from repro.workloads import AllHitReadWorkload
 >>> from repro import experiments   # one module per paper table/figure
 >>> from repro import obs           # tracing + metrics registry
@@ -20,7 +20,7 @@ EXPERIMENTS.md for paper-vs-measured results.
 """
 
 # Convenience re-exports (not in __all__, which lists subpackages only).
-from .servers import ServerMode, build_testbed
+from .servers import ServerMode
 
 __version__ = "1.0.0"
 

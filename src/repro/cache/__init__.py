@@ -17,18 +17,32 @@ Public surface:
   kernels behind a deterministic key hash;
 * :mod:`~repro.cache.policy` — the :class:`~repro.cache.policy.Policy`
   interface and the ``lru`` / ``clock`` / ``slru`` / ``arc``
-  implementations.
+  implementations;
+* :mod:`~repro.cache.arbiter` — the memory-budget arbiter
+  (:class:`~repro.cache.arbiter.MemoryArbiter` leases, the
+  :class:`~repro.cache.arbiter.StaticSplit` paper squeeze and the
+  :class:`~repro.cache.arbiter.GhostGradient` feedback controller,
+  DESIGN.md §12).
 """
 
-from .kernel import CacheKernel, CacheStallError
+from .arbiter import (ArbiterSpec, BudgetLease, GhostGradient,
+                      MemoryArbiter, StaticSplit, make_arbiter)
+from .kernel import BudgetWindow, CacheKernel, CacheStallError
 from .policy import POLICIES, Policy, make_policy
 from .sharded import ShardedKernel
 
 __all__ = [
+    "ArbiterSpec",
+    "BudgetLease",
+    "BudgetWindow",
     "CacheKernel",
     "CacheStallError",
+    "GhostGradient",
+    "MemoryArbiter",
     "POLICIES",
     "Policy",
     "ShardedKernel",
+    "StaticSplit",
+    "make_arbiter",
     "make_policy",
 ]

@@ -19,7 +19,17 @@ exactly the intermediate states the pre-kernel stores produced.
 Budget operations (:meth:`resize`, :meth:`steal`, :meth:`grant`) let one
 cache squeeze another at runtime — the "NCache pins most of memory and
 keeps the FS cache deliberately small" protocol of §3.4/§4.1 expressed
-as a kernel-level contract instead of static configuration.
+as a kernel-level contract instead of static configuration.  Outside
+``repro.cache`` these must be reached through a
+:class:`~repro.cache.arbiter.MemoryArbiter` lease (the ``budget-lease``
+lint rule enforces the seam).
+
+Two arbiter-facing hooks live here because they need the eviction loop
+and the metric family: :meth:`set_ghost_admit` filters which victims may
+leave a ghost (so placeholder entries whose data lives in a downstream
+cache don't inflate this cache's miss-value signal), and
+:class:`BudgetWindow` turns the monotonic kernel counters into per-tick
+deltas for the feedback controller.
 """
 
 from __future__ import annotations
@@ -100,6 +110,10 @@ class CacheKernel:
         # the cache; bind the policy methods once to skip the chains.
         self._policy_insert = self.policy.insert
         self._policy_evicted = self.policy.evicted
+        # None = every victim ghost-records (seed behavior, also what
+        # ARC's B1/B2 adaptation relies on); the arbiter installs a
+        # predicate only when running an adaptive controller.
+        self._ghost_admit: Optional[Callable[[Any], bool]] = None
 
     # -- inspection ---------------------------------------------------------
 
@@ -205,6 +219,19 @@ class CacheKernel:
 
     # -- eviction -----------------------------------------------------------
 
+    def set_ghost_admit(self,
+                        admit: Optional[Callable[[Any], bool]]) -> None:
+        """Install a predicate deciding which victims ghost-record.
+
+        Victims failing ``admit`` leave the policy silently (no ghost
+        entry, no later ``ghost_hit``); admitted victims behave exactly
+        as before.  ``None`` restores the record-everything default.
+        Only an adaptive arbiter should install this: ARC's ghost lists
+        double as its internal adaptation signal, so filtering them
+        changes replacement order for that policy.
+        """
+        self._ghost_admit = admit
+
     def _pick_victim(self) -> Optional[int]:
         entries = self._entries
         if self.clean_first:
@@ -243,6 +270,7 @@ class CacheKernel:
         dirty_victims: List[Any] = []
         entries = self._entries
         policy_evicted = self._policy_evicted
+        ghost_admit = self._ghost_admit
         metrics = self.metrics
         while self.capacity_bytes - self._used < nbytes:
             handle = self._pick_victim()
@@ -250,7 +278,10 @@ class CacheKernel:
                 self._stall()
             key_, item, vbytes = entries.pop(handle)
             self._used -= vbytes
-            policy_evicted(handle, key_)
+            if ghost_admit is None or ghost_admit(item):
+                policy_evicted(handle, key_)
+            else:
+                self.policy.remove(handle)
             if item.dirty:
                 metrics.evict_dirty._total += 1
                 dirty_victims.append(item)
@@ -270,6 +301,7 @@ class CacheKernel:
         self.capacity_bytes = new_capacity_bytes
         dirty_victims: List[Any] = []
         entries = self._entries
+        ghost_admit = self._ghost_admit
         metrics = self.metrics
         while self._used > self.capacity_bytes:
             handle = self._pick_victim()
@@ -277,7 +309,10 @@ class CacheKernel:
                 self._stall()
             key_, item, vbytes = entries.pop(handle)
             self._used -= vbytes
-            self._policy_evicted(handle, key_)
+            if ghost_admit is None or ghost_admit(item):
+                self._policy_evicted(handle, key_)
+            else:
+                self.policy.remove(handle)
             if item.dirty:
                 metrics.evict_dirty._total += 1
                 dirty_victims.append(item)
@@ -296,3 +331,36 @@ class CacheKernel:
     def grant(self, nbytes: int) -> None:
         """Grow the budget by ``nbytes`` (the recipient side)."""
         self.capacity_bytes += nbytes
+
+
+class BudgetWindow:
+    """Per-tick deltas over a kernel's monotonic metric counters.
+
+    The feedback controller wants *windowed* rates — "ghost hits since
+    the last tick" — while :class:`KernelMetrics` counters only grow.
+    A window snapshots the grand totals and :meth:`advance` returns the
+    deltas since the previous call, re-arming the snapshot.  Deltas are
+    clamped at zero so a counter swap (e.g. a rebuilt registry after a
+    cold restart) degrades to one empty window instead of going
+    negative.
+    """
+
+    __slots__ = ("_metrics", "_ghost", "_hit", "_miss")
+
+    def __init__(self, metrics: KernelMetrics) -> None:
+        self._metrics = metrics
+        self._ghost = metrics.ghost_hit._total
+        self._hit = metrics.hit._total
+        self._miss = metrics.miss._total
+
+    def advance(self) -> Tuple[float, float, float]:
+        """``(ghost_hits, hits, misses)`` since the previous call."""
+        metrics = self._metrics
+        ghost = metrics.ghost_hit._total
+        hit = metrics.hit._total
+        miss = metrics.miss._total
+        deltas = (max(0.0, ghost - self._ghost),
+                  max(0.0, hit - self._hit),
+                  max(0.0, miss - self._miss))
+        self._ghost, self._hit, self._miss = ghost, hit, miss
+        return deltas

@@ -187,6 +187,13 @@ class ShardedKernel:
 
     # -- eviction -----------------------------------------------------------
 
+    def set_ghost_admit(self,
+                        admit: Optional[Callable[[Any], bool]]) -> None:
+        """Install (or clear) a ghost-admission predicate on every
+        shard; see :meth:`CacheKernel.set_ghost_admit`."""
+        for shard in self.shards:
+            shard.set_ghost_admit(admit)
+
     def make_room(self, nbytes: int, key: Hashable = None,
                   on_evict: Optional[Callable[[Any], None]] = None
                   ) -> List[Any]:

@@ -560,8 +560,8 @@ class NoLegacyFactory(Rule):
     invariant = ("spec API (DESIGN.md §10): testbeds are described by "
                  "typed, picklable repro.servers.TestbedSpec/ClusterSpec "
                  "values and built with .build(); the kwarg-soup "
-                 "build_testbed() survives only as a DeprecationWarning "
-                 "shim in repro/servers/factory.py")
+                 "build_testbed() factory is deleted — this rule keeps "
+                 "it from being reinvented")
 
     def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
         if vocab.path_matches(ctx.posix,
@@ -578,3 +578,39 @@ class NoLegacyFactory(Rule):
                     f"call to deprecated factory {name}(): construct a "
                     f"repro.servers.TestbedSpec (or ClusterSpec) and "
                     f"call .build()")
+
+
+# ---------------------------------------------------------------------------
+# budget-lease
+# ---------------------------------------------------------------------------
+
+@register
+class BudgetLease(Rule):
+    """Cache budgets move through arbiter leases, not direct calls."""
+
+    id = "budget-lease"
+    summary = "resize/steal/grant only behind a MemoryArbiter lease"
+    invariant = ("arbiter seam (DESIGN.md §12): the machine's cache "
+                 "bytes have one owner — a repro.cache.arbiter."
+                 "MemoryArbiter.  Direct resize()/steal()/grant() calls "
+                 "outside repro/cache and the two cache adapters would "
+                 "let a cache grow without another shrinking, silently "
+                 "breaking the budget-conservation invariant the "
+                 "controller's stability argument rests on")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if vocab.path_matches(ctx.posix,
+                              vocab.BUDGET_LEASE_ALLOWED_PATHS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in vocab.BUDGET_OP_METHODS:
+                yield ctx.diag(
+                    self.id, node,
+                    f"direct budget operation .{func.attr}(): register "
+                    f"a lease with the testbed's MemoryArbiter and let "
+                    f"the arbiter move the bytes (repro.cache.arbiter)")

@@ -28,6 +28,7 @@ from typing import Dict, FrozenSet, Tuple
 
 #: Legal ``subsystem`` prefixes for trace events and metric names.
 SUBSYSTEMS: FrozenSet[str] = frozenset({
+    "arbiter",    # memory-budget arbiter: tick/move traces, budget gauges
     "bcache",     # file-system buffer cache
     "cache",      # the unified eviction kernel (repro.cache): per-kernel
                   # hit/miss/evict/ghost-hit metric families
@@ -124,12 +125,11 @@ HEAPQ_ALLOWED_PATHS: Tuple[str, ...] = (
     "repro/sim/engine.py",
 )
 
-#: The deprecated testbed factory's own home: the only in-repo module
-#: allowed to reference ``build_testbed`` (the ``no-legacy-factory``
-#: rule points everyone else at :class:`repro.servers.spec.TestbedSpec`).
-LEGACY_FACTORY_ALLOWED_PATHS: Tuple[str, ...] = (
-    "repro/servers/factory.py",
-)
+#: The deprecated testbed factory is deleted; no module may call
+#: ``build_testbed`` any more (the ``no-legacy-factory`` rule points
+#: everyone at :class:`repro.servers.spec.TestbedSpec`).  The tuple is
+#: kept (empty) so the rule's structure matches its siblings.
+LEGACY_FACTORY_ALLOWED_PATHS: Tuple[str, ...] = ()
 
 #: Wall-clock reading calls (dotted names as written at the call site).
 WALLCLOCK_CALLS: FrozenSet[str] = frozenset({
@@ -205,6 +205,8 @@ TYPESTATE_USE_METHODS: FrozenSet[str] = frozenset({
 #: site produces (declare-without-emit), so this list is always exactly
 #: the tree's live trace vocabulary.
 DECLARED_TRACE_EVENTS: FrozenSet[str] = frozenset({
+    "arbiter.move_bytes",
+    "arbiter.tick",
     "bcache.evict",
     "bcache.hit",
     "bcache.miss",
@@ -231,6 +233,9 @@ DECLARED_TRACE_EVENTS: FrozenSet[str] = frozenset({
 #: Metric names declared with a literal first argument (counters,
 #: gauges, histograms, CounterSet.add) anywhere in ``repro.*``.
 DECLARED_METRICS: FrozenSet[str] = frozenset({
+    "arbiter.moved_bytes",
+    "arbiter.moves",
+    "arbiter.stall_aborts",
     "bcache.evict_clean",
     "bcache.evict_dirty",
     "bcache.write_alloc",
@@ -283,9 +288,25 @@ DECLARED_METRICS: FrozenSet[str] = frozenset({
 #: discovered literal or f-string prefix under one of these is declared
 #: by family; families are exempt from declare-without-emit.
 DYNAMIC_NAME_PREFIXES: Tuple[str, ...] = (
+    "arbiter.budget.",  # per-lease budget gauges (arbiter.budget.<name>)
     "cache.",         # per-CacheKernel hit/miss/evict/ghost-hit metrics
     "fleet.routed.",  # per-node routing counters (fleet.routed.n<i>)
     "nfs.",           # per-procedure NFS trace events (nfs.<proc>)
+)
+
+
+#: Budget operations that move cache bytes: legal only inside the
+#: arbiter seam.  Everywhere else, the ``budget-lease`` rule directs
+#: authors to a :class:`~repro.cache.arbiter.MemoryArbiter` lease.
+BUDGET_OP_METHODS: FrozenSet[str] = frozenset({"resize", "steal", "grant"})
+
+#: The arbiter seam: the arbiter itself, the kernels it resizes, and the
+#: two cache adapters whose ``resize`` wrappers keep index bookkeeping
+#: attached (plus their own internal squeeze plumbing).
+BUDGET_LEASE_ALLOWED_PATHS: Tuple[str, ...] = (
+    "repro/cache/",
+    "repro/core/store.py",
+    "repro/fs/buffer_cache.py",
 )
 
 

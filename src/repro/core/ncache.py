@@ -206,6 +206,12 @@ class NCacheModule:
         payload = chunk.payload().physical_copy()  # check: ignore[copy-discipline] -- writeback data plane, charged by initiator.write
         yield from self.writeback(lbn_key.lbn, payload)
 
+    def write_back_chunk(self, chunk: Chunk
+                         ) -> Generator[Event, Any, None]:
+        """Flush one evicted dirty chunk (the arbiter's writeback
+        routine for chunks its squeeze dislodges from the store)."""
+        yield from self._write_back_chunk(chunk)
+
     # ------------------------------------------------------------------
     # TX: remap and substitute departing packets
     # ------------------------------------------------------------------

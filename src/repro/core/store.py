@@ -28,7 +28,8 @@ from __future__ import annotations
 from typing import (Callable, Dict, Hashable, Iterable, Iterator, List,
                     Optional, Union)
 
-from ..cache import CacheKernel, ShardedKernel
+from ..cache import CacheKernel, CacheStallError, ShardedKernel
+from ..cache.kernel import KernelMetrics
 from ..check import sanitizer as _sanitizer
 from ..obs.trace import TraceBus
 from ..sim.stats import CounterSet
@@ -106,6 +107,11 @@ class NCacheStore:
     @property
     def policy_name(self) -> str:
         return self._kernel.policy_name
+
+    @property
+    def kernel_metrics(self) -> KernelMetrics:
+        """The ``cache.ncache.*`` metric family (arbiter lease input)."""
+        return self._kernel.metrics
 
     @property
     def used_bytes(self) -> int:
@@ -202,6 +208,23 @@ class NCacheStore:
         returns dirty victims exactly like :meth:`make_room`."""
         return self._kernel.resize(new_capacity_bytes,
                                    on_evict=self._evicted)
+
+    def cold_restart(self) -> None:
+        """Drop the entire contents, ghost-recording every key.
+
+        The crash-rejoin semantics (DESIGN.md §10): dirty chunks are
+        lost (nothing left to write back), every evicted key lands in
+        the policy's ghost list so the rewarming cache remembers what
+        it used to hold, and the budget is restored afterwards.
+        """
+        for chunk in self.dirty_chunks():
+            chunk.dirty = False
+        capacity = self.capacity_bytes
+        try:
+            self.resize(0)
+        except CacheStallError:
+            pass  # pinned stragglers shed at the next make_room
+        self.capacity_bytes = capacity
 
     def _evicted(self, chunk: Chunk) -> None:
         self._detach(chunk)

@@ -27,8 +27,9 @@ import argparse
 import sys
 from pathlib import Path
 
-from . import (ablations, figure4, figure5, figure6, figure7,
-               fleet_churn, fleet_scaling, policy_ablation, table1, table2)
+from . import (ablations, adaptive_budget, figure4, figure5, figure6,
+               figure7, fleet_churn, fleet_scaling, policy_ablation, table1,
+               table2)
 from .parallel import n_trace_events, write_merged_chrome, write_merged_jsonl
 
 RUNNERS = {
@@ -48,6 +49,8 @@ RUNNERS = {
         [fleet_scaling.run(quick, workers, sink, stats)],
     "fleet_churn": lambda quick, workers, sink, stats:
         [fleet_churn.run(quick, workers, sink, stats)],
+    "adaptive_budget": lambda quick, workers, sink, stats:
+        [adaptive_budget.run(quick, workers, sink, stats)],
     "ablations": ablations.run,
     "policy_ablation": lambda quick, workers, sink, stats:
         [policy_ablation.run(quick, workers, sink, stats)],

@@ -45,7 +45,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from ..cache import CacheStallError
 from ..core.keys import KeyedPayload, LbnKey
 from ..net.addresses import Endpoint, PEER_PORT
 from ..net.network import Network
@@ -245,7 +244,7 @@ class Fleet:
                 f"rejoin: node {node_id} is {node.status}, not down")
         module = node.testbed.ncache
         if module is not None:
-            self._cold_restart(module.store)
+            module.store.cold_restart()
         node.testbed.cache.clear()
         for ip in node.testbed.server_ips:
             self.network.set_port_down(ip, down=False)
@@ -253,19 +252,6 @@ class Fleet:
         node.warming = True
         node.down_event = self.sim.event()
         self._trace_churn("rejoin", node_id)
-
-    @staticmethod
-    def _cold_restart(store: Any) -> None:
-        """Drop a store's entire contents, ghost-recording every key."""
-        for chunk in store.dirty_chunks():
-            # Lost in the crash: nothing left to write back.
-            chunk.dirty = False
-        capacity = store.capacity_bytes
-        try:
-            store.resize(0)
-        except CacheStallError:
-            pass  # pinned stragglers shed at the next make_room
-        store.capacity_bytes = capacity
 
     def leave(self, node_id: int) -> Generator[Any, Any, None]:
         """Gracefully drain ``node_id`` and detach it (a process).

@@ -112,6 +112,23 @@ class BufferCache:
         return self._kernel.policy_name
 
     @property
+    def kernel_metrics(self):
+        """The ``cache.bcache.*`` metric family (arbiter lease input)."""
+        return self._kernel.metrics
+
+    def set_ghost_admit(self, admit) -> None:
+        """Restrict which evicted pages ghost-record (arbiter hook).
+
+        Under NCache most pages are :class:`~repro.core.keys.KeyedPayload`
+        placeholders whose data still lives in the chunk store; letting
+        them ghost-record would let this cache claim miss-savings the
+        store already provides.  The adaptive arbiter installs a
+        predicate admitting only pages with standalone value (physical
+        metadata blocks, dirty pages).
+        """
+        self._kernel.set_ghost_admit(admit)
+
+    @property
     def used_bytes(self) -> int:
         return len(self._entries) * self.block_size
 
@@ -154,6 +171,12 @@ class BufferCache:
     def peek(self, lbn: int) -> Optional[CacheEntry]:
         """Lookup without recency side effects or hit/miss accounting."""
         return self._entries.get(lbn)
+
+    def has_room(self, nblocks: int = 1) -> bool:
+        """Whether ``nblocks`` more blocks fit without eviction."""
+        return (self._kernel.capacity_bytes
+                - len(self._entries) * self.block_size
+                >= nblocks * self.block_size)
 
     def make_room(self, nblocks: int = 1,
                   lbn: Optional[int] = None) -> List[CacheEntry]:

@@ -268,10 +268,30 @@ class VFS:
                                        is_metadata=entry.is_metadata,
                                        trace=trace)
 
+    def write_back_entry(self, entry: CacheEntry
+                         ) -> Generator[Event, Any, None]:
+        """Flush one evicted dirty page through the block device.
+
+        The arbiter's writeback routine for pages its squeeze dislodges
+        from the buffer cache — under NCache the write path remaps the
+        backing FHO chunk exactly as ordinary eviction writeback does.
+        """
+        yield from self._write_back(entry, None)
+
     def _evict_for(self, nblocks: int) -> Generator[Event, Any, None]:
-        """Make room, writing back any dirty victims first."""
-        for victim in self.cache.make_room(nblocks):
-            yield from self._write_back(victim, None)
+        """Make room, writing back any dirty victims first.
+
+        ``make_room`` frees space synchronously, but writing back a
+        dirty victim yields — a concurrent request can claim the freed
+        slot before our insert runs.  Re-check and re-evict until the
+        room survives the writebacks (clean victims never yield, so the
+        common path is a single pass with no extra events).
+        """
+        while True:
+            for victim in self.cache.make_room(nblocks):
+                yield from self._write_back(victim, None)
+            if self.cache.has_room(nblocks):
+                return
 
     # ------------------------------------------------------------------
     # Shared read machinery

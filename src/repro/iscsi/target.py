@@ -51,6 +51,9 @@ class IscsiTarget:
         self.port = port
         self.network_ready_disk = network_ready_disk
         self.commands_served = 0
+        #: read commands only — the backend-read miss traffic the cache
+        #: experiments score on (writes are writeback policy, not misses).
+        self.reads_served = 0
         host.stack.tcp_listen(port, self._accept)
 
     def _accept(self, conn: TCPConnection) -> None:
@@ -67,6 +70,7 @@ class IscsiTarget:
             self.host.costs.iscsi_target_op_ns, "iscsi.target_op")
         self.commands_served += 1
         if cmd.is_read:
+            self.reads_served += 1
             yield from self._serve_read(conn, cmd)
         else:
             yield from self._serve_write(conn, dgram, cmd)

@@ -32,9 +32,9 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..experiments import (ablations, figure4, figure5, figure6, figure7,
-                           fleet_churn, fleet_scaling, policy_ablation,
-                           table1, table2)
+from ..experiments import (ablations, adaptive_budget, figure4, figure5,
+                           figure6, figure7, fleet_churn, fleet_scaling,
+                           policy_ablation, table1, table2)
 from ..sim import engine as _engine
 
 #: Bump when entry fields change incompatibly; the comparator refuses to
@@ -72,6 +72,8 @@ GRID: Dict[str, _Runner] = {
         fleet_scaling.run(quick, workers, stats=stats),
     "fleet_churn": lambda quick, workers, stats:
         fleet_churn.run(quick, workers, stats=stats),
+    "adaptive_budget": lambda quick, workers, stats:
+        adaptive_budget.run(quick, workers, stats=stats),
     "ablations": lambda quick, workers, stats:
         ablations.run(quick, workers, stats=stats),
     "policy_ablation": lambda quick, workers, stats:

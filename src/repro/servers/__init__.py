@@ -1,7 +1,6 @@
 """Testbed assembly: server modes and full four-machine configurations."""
 
 from .config import GB, MB, ServerMode, TestbedConfig
-from .factory import build_testbed
 from .spec import ClusterSpec, TestbedSpec
 from .testbed import BaseTestbed, NfsTestbed, WebTestbed, run_until_complete
 
@@ -15,6 +14,5 @@ __all__ = [
     "TestbedConfig",
     "TestbedSpec",
     "WebTestbed",
-    "build_testbed",
     "run_until_complete",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from ..cache.arbiter import ArbiterSpec
 from ..copymodel.accounting import CopyDiscipline
 from ..copymodel.costs import DEFAULT_COSTS, CostModel
 
@@ -82,6 +83,12 @@ class TestbedConfig:
 
     readahead_blocks: int = 0
 
+    #: on-disk inode table size (blocks); inode→LBN mapping wraps at
+    #: this many blocks, so it bounds the inode-metadata working set
+    #: (the adaptive-budget experiment raises it to make metadata a
+    #: cache-significant byte population).
+    inode_table_blocks: int = 128
+
     #: NCache chunk descriptor overheads — the metadata that shrinks the
     #: effective cache (Figure 6a).
     ncache_per_buffer_overhead: int = 160
@@ -92,6 +99,12 @@ class TestbedConfig:
     cache_policy: str = "lru"
     #: NCache store shard count (1 = unsharded, the paper's layout).
     cache_shards: int = 1
+
+    #: memory-budget arbiter over the FS cache / NCache split
+    #: (DESIGN.md §12).  The default ``StaticSplit`` reproduces the
+    #: paper's configuration-time squeeze byte-for-byte; ``kind="ghost"``
+    #: turns on the GhostGradient feedback controller.
+    arbiter: ArbiterSpec = field(default_factory=ArbiterSpec)
 
     #: strict NCache substitution (raise on miss) — used by tests.
     ncache_strict: bool = False

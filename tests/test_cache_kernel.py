@@ -276,6 +276,47 @@ class TestShardedKernel:
         s.resize(4)
         assert s.used_bytes <= 4 and s.capacity_bytes == 4
 
+    def test_resize_redivides_base_plus_remainder(self):
+        s = ShardedKernel("test", 12, shards=4)
+        s.resize(10)
+        assert [sh.capacity_bytes for sh in s.shards] == [4, 2, 2, 2]
+        assert s.capacity_bytes == 10
+        s.resize(16)  # growth re-divides the same way
+        assert [sh.capacity_bytes for sh in s.shards] == [4, 4, 4, 4]
+
+    def test_resize_returns_dirty_victims_from_all_shards(self):
+        s = ShardedKernel("test", 8, shards=2)
+        for k in range(40):
+            if s.free_bytes_for(k):
+                s.insert(k, Item(dirty=True), 1)
+        victims = s.resize(2)
+        assert len(victims) == 6 and all(v.dirty for v in victims)
+        assert s.used_bytes == 2
+
+    def test_steal_grant_round_trip(self):
+        s = ShardedKernel("test", 8, shards=2)
+        for k in range(40):
+            if s.free_bytes_for(k):
+                s.insert(k, Item(), 1)
+        s.steal(4)
+        assert s.capacity_bytes == 4 and s.used_bytes <= 4
+        s.grant(4)
+        assert s.capacity_bytes == 8
+        assert [sh.capacity_bytes for sh in s.shards] == [4, 4]
+
+    def test_ghost_admit_applies_to_every_shard(self):
+        s = ShardedKernel("test", 4, shards=2)
+        s.set_ghost_admit(lambda item: False)
+        keys = []
+        for k in range(40):
+            if s.free_bytes_for(k):
+                s.insert(k, Item(), 1)
+                keys.append(k)
+        s.resize(0)  # evicts everything, nothing ghost-records
+        for k in keys:
+            s.record_miss(k)
+        assert s.counters["cache.test.ghost_hit"].value == 0
+
 
 class TestShardedDeterminism:
     """shards=1 must be bit-identical to the unsharded kernel."""
@@ -315,5 +356,41 @@ class TestShardedDeterminism:
                 [k for k, _ in one.items()]
         for name in ("hit", "miss", "ghost_hit", "evict_clean",
                      "evict_dirty"):
+            assert flat.counters[f"cache.test.{name}"].value == \
+                one.counters[f"cache.test.{name}"].value, name
+
+    def test_single_shard_budget_ops_match_unsharded(self):
+        """The arbiter drives resize/steal/grant; a one-shard kernel
+        must shed the same victims in the same order as the flat one."""
+        rng = substream(7, "cache-shard-budget-determinism")
+        flat = CacheKernel("test", 16)
+        one = ShardedKernel("test", 16, shards=1)
+        for kernel in (flat, one):
+            for k in range(16):
+                kernel.insert(k, Item(dirty=bool(k % 2)), 1)
+        for step in range(60):
+            op = rng.choice(["resize", "steal", "grant", "insert"])
+            if op == "resize":
+                target = rng.randrange(1, 20)
+                va, vb = flat.resize(target), one.resize(target)
+            elif op == "steal":
+                n = rng.randrange(0, max(1, flat.capacity_bytes))
+                va, vb = flat.steal(n), one.steal(n)
+            elif op == "grant":
+                flat.grant(3)
+                one.grant(3)
+                va = vb = []
+            else:
+                key = 100 + step
+                flat.make_room(1, key=key)
+                one.make_room(1, key=key)
+                flat.insert(key, Item(dirty=True), 1)
+                one.insert(key, Item(dirty=True), 1)
+                va = vb = []
+            assert len(va) == len(vb)
+            assert flat.capacity_bytes == one.capacity_bytes
+            assert [k for k, _ in flat.items()] == \
+                [k for k, _ in one.items()]
+        for name in ("ghost_hit", "evict_clean", "evict_dirty"):
             assert flat.counters[f"cache.test.{name}"].value == \
                 one.counters[f"cache.test.{name}"].value, name

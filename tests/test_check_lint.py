@@ -271,6 +271,59 @@ class TestCacheDiscipline:
         assert flagged and all(d.suppressed for d in flagged)
 
 
+class TestBudgetLease:
+    VIOLATION = """\
+        def squeeze(cache):
+            cache.resize(1024)
+    """
+
+    def test_direct_resize_flagged(self, tmp_path):
+        found = active(lint_source(tmp_path, self.VIOLATION),
+                       "budget-lease")
+        assert found and ".resize()" in found[0].message
+
+    def test_steal_and_grant_flagged(self, tmp_path):
+        diags = lint_source(tmp_path, """\
+            def rob(donor, recipient):
+                victims = donor.steal(4096)
+                recipient.grant(4096)
+                return victims
+        """)
+        assert len(active(diags, "budget-lease")) == 2
+
+    def test_arbiter_seam_paths_exempt(self, tmp_path):
+        for name in ("repro/cache/arbiter.py", "repro/core/store.py",
+                     "repro/fs/buffer_cache.py"):
+            diags = lint_source(tmp_path, self.VIOLATION, name=name)
+            assert not active(diags, "budget-lease"), name
+
+    def test_bound_method_reference_without_call_ok(self, tmp_path):
+        # Registering a lease hands the arbiter the resize callable —
+        # a reference, not a call.
+        diags = lint_source(tmp_path, """\
+            def register(arbiter, cache, metrics):
+                arbiter.register("bcache", 4096, cache.resize, metrics)
+        """)
+        assert not active(diags, "budget-lease")
+
+    def test_unrelated_resize_name_still_flagged(self, tmp_path):
+        # The rule is name-based by design: any .resize() call outside
+        # the seam should route through a lease or be renamed.
+        diags = lint_source(tmp_path, """\
+            def rescale(image):
+                image.resize(640)
+        """)
+        assert active(diags, "budget-lease")
+
+    def test_suppression_honored(self, tmp_path):
+        diags = lint_source(tmp_path, """\
+            def rescale(image):
+                image.resize(640)  # check: ignore[budget-lease] -- PIL
+        """)
+        flagged = [d for d in diags if d.rule == "budget-lease"]
+        assert flagged and all(d.suppressed for d in flagged)
+
+
 class TestSuppressions:
     def test_inline_ignore_marks_suppressed(self, tmp_path):
         diags = lint_source(tmp_path, """\
@@ -357,7 +410,8 @@ class TestDriver:
         assert set(RULES) == {"no-wallclock", "no-global-random",
                               "copy-discipline", "trace-naming",
                               "engine-discipline", "cache-discipline",
-                              "no-legacy-factory", "scheduler-discipline"}
+                              "no-legacy-factory", "scheduler-discipline",
+                              "budget-lease"}
         for rule in all_rules():
             assert rule.summary and rule.invariant
 

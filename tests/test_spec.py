@@ -1,4 +1,4 @@
-"""TestbedSpec/ClusterSpec validation, pickling, and the factory shim."""
+"""TestbedSpec/ClusterSpec validation and pickling."""
 
 import pickle
 
@@ -10,7 +10,6 @@ from repro.servers import (
     ServerMode,
     TestbedSpec,
     WebTestbed,
-    build_testbed,
 )
 from repro.servers.spec import KIND_DEFAULTS
 
@@ -94,16 +93,3 @@ class TestClusterSpec:
         spec = ClusterSpec(testbed=TestbedSpec.nfs(ServerMode.NCACHE),
                            n_servers=4, replication=2, cooperative=True)
         assert pickle.loads(pickle.dumps(spec)) == spec
-
-
-class TestFactoryShim:
-    def test_emits_deprecation_warning(self):
-        with pytest.warns(DeprecationWarning, match="TestbedSpec"):
-            build_testbed("nfs", ServerMode.ORIGINAL)
-
-    def test_still_builds_equivalent_testbed(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = build_testbed("nfs", ServerMode.NCACHE, n_daemons=4)
-        via_spec = TestbedSpec.nfs(ServerMode.NCACHE, n_daemons=4).build()
-        assert type(legacy) is type(via_spec)
-        assert legacy.config == via_spec.config
